@@ -1,0 +1,131 @@
+// Command figures regenerates the data behind every table and figure of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	figures -exp fig11                 # one experiment to stdout
+//	figures -exp all -out results/     # everything, one file per experiment
+//	figures -exp fig4 -measure 1000000 # longer measurement window
+//
+// Experiments: table1 table2 fig4 fig5 fig6 fig9 fig11 fig12 fig13 fig14
+// fig15 fig16a fig16b fig16c fig17 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nocmem/internal/config"
+	"nocmem/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		which   = flag.String("exp", "all", "experiment id (table1, table2, fig4..fig17, all)")
+		outDir  = flag.String("out", "", "directory for per-experiment .tsv files (default: stdout)")
+		warmup  = flag.Int64("warmup", 100_000, "warmup cycles")
+		measure = flag.Int64("measure", 300_000, "measurement cycles")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		push    = flag.Int64("push", 20_000, "scheme-1 threshold push period (cycles)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	runner := exp.NewRunner(exp.Options{
+		WarmupCycles:        *warmup,
+		MeasureCycles:       *measure,
+		Seed:                *seed,
+		ThresholdPushPeriod: *push,
+	})
+	if !*quiet {
+		runner.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+	cfg := config.Baseline32()
+
+	all := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17"}
+	ids := strings.Split(*which, ",")
+	if *which == "all" {
+		ids = all
+	}
+
+	allWorkloads := func() []int {
+		out := make([]int, 18)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}()
+
+	for _, id := range ids {
+		w, closeFn, err := output(*outDir, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		switch id {
+		case "table1":
+			exp.Table1(w, cfg)
+		case "table2":
+			exp.Table2(w)
+		case "fig4":
+			err = runner.Fig4(w, cfg)
+		case "fig5":
+			err = runner.Fig5(w, cfg)
+		case "fig6":
+			err = runner.Fig6(w, cfg)
+		case "fig9":
+			err = runner.Fig9(w, cfg)
+		case "fig11":
+			err = runner.Fig11(w, cfg, allWorkloads)
+		case "fig12":
+			err = runner.Fig12(w, cfg)
+		case "fig13":
+			err = runner.Fig13(w, cfg)
+		case "fig14":
+			err = runner.Fig14(w, cfg)
+		case "fig15":
+			err = runner.Fig15(w, allWorkloads)
+		case "fig16a":
+			err = runner.Fig16a(w, cfg, []float64{1.0, 1.2, 1.4})
+		case "fig16b":
+			err = runner.Fig16b(w, cfg, []int64{1000, 2000, 4000})
+		case "fig16c":
+			err = runner.Fig16c(w, cfg)
+		case "fig17":
+			err = runner.Fig17(w, cfg)
+		default:
+			err = fmt.Errorf("unknown experiment %q (want one of %s)", id, strings.Join(all, " "))
+		}
+		closeFn()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		if !*quiet {
+			log.Printf("%s done in %.1fs", id, time.Since(start).Seconds())
+		}
+	}
+}
+
+// output returns the writer for one experiment.
+func output(dir, id string) (io.Writer, func(), error) {
+	if dir == "" {
+		return os.Stdout, func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".tsv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}

@@ -1,0 +1,124 @@
+// Command nocsim runs one multiprogrammed workload on the simulated 32-core
+// NoC multicore and reports the paper's headline metrics under the baseline,
+// Scheme-1, and Scheme-1+2.
+//
+// Usage:
+//
+//	nocsim -workload 7                  # Table 2 workload id (1-18)
+//	nocsim -workload 7 -cores 16        # 16-core 4x4 system
+//	nocsim -workload 1 -measure 1000000 # longer window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"nocmem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocsim: ")
+	var (
+		wid     = flag.Int("workload", 1, "Table 2 workload id (1-18)")
+		cores   = flag.Int("cores", 32, "core count: 32 (4x8) or 16 (4x4)")
+		warmup  = flag.Int64("warmup", 100_000, "warmup cycles")
+		measure = flag.Int64("measure", 300_000, "measurement cycles")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		verbose = flag.Bool("v", false, "per-application details")
+		jsonOut = flag.String("json", "", "write the scheme-1+2 run's summary as JSON to this file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	var cfg nocmem.Config
+	switch *cores {
+	case 32:
+		cfg = nocmem.Baseline32()
+	case 16:
+		cfg = nocmem.Baseline16()
+	default:
+		log.Fatalf("unsupported core count %d (want 32 or 16)", *cores)
+	}
+	cfg.Run.WarmupCycles = *warmup
+	cfg.Run.MeasureCycles = *measure
+	cfg.Run.Seed = *seed
+	cfg.S1.UpdatePeriod = *measure / 15
+
+	w, err := nocmem.GetWorkload(*wid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cores == 16 {
+		if w, err = w.Halve(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%s (%s) on %d cores, %d + %d cycles\n", w.Name(), w.Category, *cores, *warmup, *measure)
+
+	row, err := nocmem.SpeedupFor(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\tweighted speedup\tnormalized\tavg off-chip latency\tnet avg latency\n")
+	for _, v := range []struct {
+		name string
+		ws   float64
+		norm float64
+		res  *nocmem.Result
+	}{
+		{"base", row.BaseWS, 1.0, row.Base},
+		{"scheme-1", row.S1WS, row.NormS1, row.S1},
+		{"scheme-1+2", row.S1S2WS, row.NormS1S2, row.S1S2},
+	} {
+		var lat float64
+		var n int
+		for _, tile := range v.res.ActiveTiles() {
+			if h := v.res.Collector.RoundTrip[tile]; h.Count() > 0 {
+				lat += h.Mean()
+				n++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.4f\t%.0f\t%.1f\n", v.name, v.ws, v.norm, lat/float64(n), v.res.Net.AvgLatency())
+	}
+	tw.Flush()
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := row.S1S2.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s1, s12 := row.S1, row.S1S2
+	fmt.Printf("\nscheme-1 tagged %d of %d responses (%.1f%%); tagged return path %.0f vs normal %.0f cycles\n",
+		s1.S1Tagged, s1.S1Checked, 100*float64(s1.S1Tagged)/float64(s1.S1Checked+1),
+		s1.Collector.RetHigh.Mean(), s1.Collector.RetNormal.Mean())
+	fmt.Printf("scheme-2 tagged %d of %d requests (%.1f%%)\n",
+		s12.S2Tagged, s12.S2Checked, 100*float64(s12.S2Tagged)/float64(s12.S2Checked+1))
+
+	if *verbose {
+		fmt.Println()
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "tile\tapp\tIPC(base)\tIPC(s1+2)\tMPKI\tavg lat\tp99 lat\n")
+		for _, tile := range row.Base.ActiveTiles() {
+			h := row.Base.Collector.RoundTrip[tile]
+			fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%.1f\t%.0f\t%d\n",
+				tile, row.Base.Apps[tile].Name, row.Base.IPC[tile], row.S1S2.IPC[tile],
+				row.Base.MPKI(tile), h.Mean(), h.Percentile(99))
+		}
+		tw.Flush()
+	}
+}

@@ -1,0 +1,201 @@
+// Command plot renders the .tsv files produced by cmd/figures as terminal
+// charts (bar charts, sparklines) or as standalone SVG figures.
+//
+// Usage:
+//
+//	plot results/fig11.tsv                      # bars of a chosen column
+//	plot -col 4 results/fig11.tsv               # pick the column (0-based)
+//	plot -spark results/fig14.tsv               # sparkline per numeric column
+//	plot -svg fig11.svg results/fig11.tsv       # grouped SVG bar chart
+//	plot -svg fig14.svg -line results/fig14.tsv # SVG line chart (x = col 0)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nocmem/internal/ascii"
+	"nocmem/internal/svg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plot: ")
+	var (
+		col      = flag.Int("col", -1, "value column to plot (default: last numeric column)")
+		spark    = flag.Bool("spark", false, "render each numeric column as a sparkline")
+		width    = flag.Int("width", 50, "bar width in characters")
+		baseline = flag.Float64("baseline", 0, "draw a marker at this value (e.g. 1.0 for normalized speedups)")
+		svgOut   = flag.String("svg", "", "write an SVG figure to this file instead of terminal output")
+		line     = flag.Bool("line", false, "with -svg: line chart with column 0 as the x axis")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: plot [flags] <file.tsv>")
+	}
+	header, rows, err := readTSV(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rows) == 0 {
+		log.Fatal("no data rows")
+	}
+
+	if *svgOut != "" {
+		if err := writeSVG(*svgOut, flag.Arg(0), header, rows, *line, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+		return
+	}
+
+	if *spark {
+		for c := 1; c < len(header); c++ {
+			vals, ok := column(rows, c)
+			if !ok {
+				continue
+			}
+			lo, hi := minMax(vals)
+			fmt.Printf("%-12s %s  [%.3g .. %.3g]\n", header[c], ascii.Spark(vals), lo, hi)
+		}
+		return
+	}
+
+	c := *col
+	if c < 0 {
+		for k := len(header) - 1; k >= 1; k-- {
+			if _, ok := column(rows, k); ok {
+				c = k
+				break
+			}
+		}
+	}
+	vals, ok := column(rows, c)
+	if !ok {
+		log.Fatalf("column %d is not numeric", c)
+	}
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		labels[i] = r[0]
+	}
+	fmt.Printf("%s — %s\n", flag.Arg(0), header[c])
+	b := ascii.Bar{Width: *width, Baseline: *baseline}
+	if err := b.Render(os.Stdout, labels, vals); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeSVG renders the table as a grouped bar chart, or as a line chart with
+// column 0 as the x axis when line is set.
+func writeSVG(path, title string, header []string, rows [][]string, line bool, baseline float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if line {
+		xs, ok := column(rows, 0)
+		if !ok {
+			return fmt.Errorf("column 0 is not numeric; a line chart needs a numeric x axis")
+		}
+		var series []svg.Series
+		for c := 1; c < len(header); c++ {
+			ys, ok := column(rows, c)
+			if !ok {
+				continue
+			}
+			series = append(series, svg.Series{Name: header[c], X: xs, Y: ys})
+		}
+		chart := svg.Chart{Title: title, XLabel: header[0], Series: series}
+		if err := chart.Render(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	var names []string
+	var cols [][]float64
+	for c := 1; c < len(header); c++ {
+		vals, ok := column(rows, c)
+		if !ok {
+			continue
+		}
+		names = append(names, header[c])
+		cols = append(cols, vals)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("no numeric columns")
+	}
+	labels := make([]string, len(rows))
+	values := make([][]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r[0]
+		values[i] = make([]float64, len(cols))
+		for c := range cols {
+			values[i][c] = cols[c][i]
+		}
+	}
+	chart := svg.BarChart{Title: title, Labels: labels, Series: names, Values: values, Baseline: baseline}
+	if err := chart.Render(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// readTSV loads a cmd/figures output file: '#' comment lines, then a header
+// row, then data rows.
+func readTSV(path string) (header []string, rows [][]string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if header == nil {
+			header = fields
+			continue
+		}
+		rows = append(rows, fields)
+	}
+	return header, rows, sc.Err()
+}
+
+// column extracts a numeric column; ok is false if any cell fails to parse.
+func column(rows [][]string, c int) ([]float64, bool) {
+	out := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		if c >= len(r) {
+			return nil, false
+		}
+		v, err := strconv.ParseFloat(r[c], 64)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,152 @@
+// Command sweep runs parameter sensitivity sweeps beyond the paper's own
+// (Figure 16/17) studies: any of the Scheme-1 threshold factor, Scheme-2
+// history window, mesh size, memory controllers, router pipeline, VC count,
+// and buffer depth, on a chosen workload.
+//
+// Usage:
+//
+//	sweep -what threshold -workload 7
+//	sweep -what history -workload 1
+//	sweep -what vcs -workload 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"nocmem"
+	"nocmem/internal/config"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		what    = flag.String("what", "threshold", "sweep: threshold | history | mcs | pipeline | vcs | buffers | starvation | antistarvation | bypass | routing | policy")
+		wid     = flag.Int("workload", 7, "Table 2 workload id (1-18)")
+		warmup  = flag.Int64("warmup", 100_000, "warmup cycles")
+		measure = flag.Int64("measure", 300_000, "measurement cycles")
+	)
+	flag.Parse()
+
+	w, err := nocmem.GetWorkload(*wid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := nocmem.Baseline32()
+	base.Run.WarmupCycles = *warmup
+	base.Run.MeasureCycles = *measure
+	base.S1.UpdatePeriod = *measure / 15
+
+	type point struct {
+		label string
+		cfg   nocmem.Config
+	}
+	var points []point
+	switch *what {
+	case "threshold":
+		for _, f := range []float64{0.8, 0.9, 1.0, 1.1, 1.2, 1.4} {
+			c := base.WithSchemes(true, true)
+			c.S1.ThresholdFactor = f
+			points = append(points, point{fmt.Sprintf("%.1fx", f), c})
+		}
+	case "history":
+		for _, T := range []int64{500, 1000, 2000, 4000, 8000} {
+			c := base.WithSchemes(true, true)
+			c.S2.HistoryWindow = T
+			points = append(points, point{fmt.Sprintf("T=%d", T), c})
+		}
+	case "mcs":
+		for _, n := range []int{2, 4} {
+			c := base.WithSchemes(true, true)
+			c.DRAM.Controllers = n
+			points = append(points, point{fmt.Sprintf("%d MCs", n), c})
+		}
+	case "pipeline":
+		for _, p := range []config.RouterPipeline{config.Pipeline5, config.Pipeline2} {
+			c := base.WithSchemes(true, true)
+			c.NoC.Pipeline = p
+			points = append(points, point{fmt.Sprintf("%d-stage", p), c})
+		}
+	case "vcs":
+		for _, v := range []int{2, 4, 8} {
+			c := base.WithSchemes(true, true)
+			c.NoC.VCsPerPort = v
+			points = append(points, point{fmt.Sprintf("%d VCs", v), c})
+		}
+	case "buffers":
+		for _, b := range []int{3, 5, 8, 16} {
+			c := base.WithSchemes(true, true)
+			c.NoC.BufferDepth = b
+			points = append(points, point{fmt.Sprintf("%d flits", b), c})
+		}
+	case "starvation":
+		for _, s := range []int64{100, 500, 1000, 5000} {
+			c := base.WithSchemes(true, true)
+			c.NoC.StarvationWindow = s
+			points = append(points, point{fmt.Sprintf("window=%d", s), c})
+		}
+	case "antistarvation":
+		age := base.WithSchemes(true, true)
+		batch := base.WithSchemes(true, true)
+		batch.NoC.StarvationMode = config.Batching
+		points = append(points, point{"age-window", age}, point{"batching", batch})
+	case "bypass":
+		on := base.WithSchemes(true, true)
+		off := base.WithSchemes(true, true)
+		off.NoC.EnableBypass = false
+		points = append(points, point{"bypass on", on}, point{"bypass off", off})
+	case "routing":
+		xy := base.WithSchemes(true, true)
+		wf := base.WithSchemes(true, true)
+		wf.NoC.Routing = config.RoutingWestFirst
+		points = append(points, point{"x-y", xy}, point{"west-first", wf})
+	case "policy":
+		s12 := base.WithSchemes(true, true)
+		appNet := base
+		appNet.AppAwareNet = true
+		appMem := base
+		appMem.DRAM.Sched = config.AppAwareMem
+		fcfs := base
+		fcfs.DRAM.Sched = config.FCFS
+		points = append(points,
+			point{"scheme-1+2", s12},
+			point{"app-aware net", appNet},
+			point{"app-aware mem", appMem},
+			point{"fcfs memory", fcfs},
+		)
+	default:
+		log.Fatalf("unknown sweep %q", *what)
+	}
+
+	fmt.Printf("sweep %s on %s (%s)\n", *what, w.Name(), w.Category)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "point\tnormalized WS\tnet avg\ts1 tag%%\ts2 tag%%\n")
+	for _, pt := range points {
+		// The base run differs when the sweep changes the substrate
+		// (MCs, pipeline, VCs, buffers), so recompute it per point.
+		baseRun, err := nocmem.RunWorkload(pt.cfg.WithSchemes(false, false), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseWS, err := nocmem.WeightedSpeedup(pt.cfg, baseRun)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nocmem.RunWorkload(pt.cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws, err := nocmem.WeightedSpeedup(pt.cfg, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, ws/baseWS, res.Net.AvgLatency(),
+			100*float64(res.S1Tagged)/float64(res.S1Checked+1),
+			100*float64(res.S2Tagged)/float64(res.S2Checked+1))
+	}
+	tw.Flush()
+}

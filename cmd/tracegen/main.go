@@ -1,0 +1,79 @@
+// Command tracegen records synthetic application instruction streams into
+// trace files that the simulator (and nocsim -traces) can replay, and
+// inspects existing traces.
+//
+// Usage:
+//
+//	tracegen -app milc -n 2000000 -o milc.trace
+//	tracegen -inspect milc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nocmem/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		app     = flag.String("app", "", "application profile to record (see Table 2 names)")
+		n       = flag.Int64("n", 1_000_000, "instructions to record")
+		out     = flag.String("o", "", "output trace file")
+		core    = flag.Int("core", 0, "core id (selects the address region and RNG stream)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		inspect = flag.String("inspect", "", "print a summary of an existing trace file")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		ft, err := trace.OpenFile(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hot, warm := ft.PrewarmLines()
+		var mem, stores int64
+		for i := int64(0); i < ft.Records(); i++ {
+			in := ft.Next()
+			if in.IsMem {
+				mem++
+				if in.IsStore {
+					stores++
+				}
+			}
+		}
+		fmt.Printf("%s: %d records, %d memory ops (%.1f%%), %d stores (%.1f%% of mem), prewarm %d hot + %d warm lines\n",
+			*inspect, ft.Records(), mem, 100*float64(mem)/float64(ft.Records()),
+			stores, 100*float64(stores)/float64(mem), len(hot), len(warm))
+		return
+	}
+
+	if *app == "" || *out == "" {
+		log.Fatal("need -app and -o (or -inspect)")
+	}
+	p, err := trace.Lookup(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := trace.NewGenerator(p, *core, 64, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Record(f, g, *n); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("recorded %d instructions of %s (core %d) to %s (%d bytes)\n", *n, *app, *core, *out, st.Size())
+}

@@ -1,0 +1,73 @@
+package nocmem_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nocmem"
+)
+
+// Running one of the paper's Table 2 workloads under the baseline network,
+// Scheme-1, and Scheme-1+2, and reading the headline metric.
+func ExampleSpeedupFor() {
+	cfg := nocmem.Baseline32()
+	w, err := nocmem.GetWorkload(7) // memory intensive
+	if err != nil {
+		log.Fatal(err)
+	}
+	row, err := nocmem.SpeedupFor(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normalized WS: scheme-1 %.4f, scheme-1+2 %.4f\n", row.NormS1, row.NormS1S2)
+}
+
+// Building a custom system: a 16-core mesh with the two schemes enabled and
+// a shorter measurement window.
+func ExampleRunApps() {
+	cfg := nocmem.Baseline16().WithSchemes(true, true)
+	cfg.Run.MeasureCycles = 200_000
+
+	mcf, err := nocmem.LookupApp("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps := []nocmem.Profile{mcf, mcf, mcf, mcf} // remaining tiles stay idle
+	res, err := nocmem.RunApps(cfg, apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tile := range res.ActiveTiles() {
+		h := res.Collector.RoundTrip[tile]
+		fmt.Printf("tile %d: IPC %.3f, off-chip p99 %d cycles\n", tile, res.IPC[tile], h.Percentile(99))
+	}
+}
+
+// Inspecting the five-leg latency anatomy of Figure 2/4 for one application.
+func ExampleResult_breakdown() {
+	cfg := nocmem.Baseline32()
+	w, _ := nocmem.GetWorkload(2)
+	res, err := nocmem.RunWorkload(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tile := res.ActiveTiles()[0]
+	for _, row := range res.Collector.Breakdown[tile].Rows() {
+		fmt.Printf("%4d-%4d: %v\n", row.Lo, row.Hi, row.Avg)
+	}
+}
+
+// Recording a synthetic stream to a trace file and replaying it.
+func ExampleRunTraces() {
+	ft, err := nocmem.OpenTrace("milc.trace") // written by cmd/tracegen
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := nocmem.Baseline16()
+	res, err := nocmem.RunTraces(cfg, []*nocmem.FileTrace{ft}, []string{"milc-replay"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.WriteJSON(os.Stdout)
+}

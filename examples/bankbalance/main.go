@@ -1,0 +1,83 @@
+// Bank-load balancing (Scheme-2) in depth: reproduce the Figure 13/14
+// experiment — per-node bank history tables expedite requests headed for
+// idle DRAM banks, reducing bank idleness and queue imbalance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nocmem"
+)
+
+func main() {
+	cfg := nocmem.Baseline32()
+	cfg.Run.WarmupCycles = 50_000
+	cfg.Run.MeasureCycles = 200_000
+
+	w, err := nocmem.GetWorkload(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("running %s with and without Scheme-2...\n\n", w.Name())
+	base, err := nocmem.RunWorkload(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := nocmem.RunWorkload(cfg.WithSchemes(false, true), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 13: idleness of each bank of the first memory controller.
+	fmt.Println("MC0 bank idleness (fraction of samples with an empty queue):")
+	fmt.Println("bank:     " + header(len(base.BankIdleness[0])))
+	fmt.Println("default:  " + row(base.BankIdleness[0]))
+	fmt.Println("scheme-2: " + row(s2.BankIdleness[0]))
+
+	avg := func(r *nocmem.Result) float64 {
+		var sum float64
+		var n int
+		for _, banks := range r.BankIdleness {
+			for _, v := range banks {
+				sum += v
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	fmt.Printf("\naverage idleness across all %d banks: default %.3f -> scheme-2 %.3f\n",
+		len(base.BankIdleness)*len(base.BankIdleness[0]), avg(base), avg(s2))
+
+	// Figure 14: idleness over time (interval averages of MC0).
+	fmt.Println("\nMC0 average idleness over time:")
+	fmt.Println("cycle     default  scheme-2")
+	pts, pts2 := base.IdleSeries[0].Points(), s2.IdleSeries[0].Points()
+	for i := range pts {
+		if i >= len(pts2) {
+			break
+		}
+		fmt.Printf("%-9d %.3f    %.3f\n", pts[i].Cycle, pts[i].Avg, pts2[i].Avg)
+	}
+
+	fmt.Printf("\nscheme-2 tagged %d of %d off-chip requests (%.1f%%) as idle-bank bound\n",
+		s2.S2Tagged, s2.S2Checked, 100*float64(s2.S2Tagged)/float64(s2.S2Checked+1))
+}
+
+func header(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%5d ", i)
+	}
+	return b.String()
+}
+
+func row(vs []float64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%5.2f ", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+// Mesh study: how the schemes' benefit scales with the network, and what
+// they do to fairness. The paper argues (Figures 11 vs 15) that larger
+// meshes give the network a bigger share of the round trip and therefore
+// more for prioritization to recover; this example measures a
+// memory-intensive mix on a 4x4/2-MC and a 4x8/4-MC system and also reports
+// the fairness metrics the paper does not show.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocmem"
+)
+
+func main() {
+	w, err := nocmem.GetWorkload(8) // memory intensive
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type system struct {
+		name string
+		cfg  nocmem.Config
+		load func() (nocmem.Workload, error)
+	}
+	systems := []system{
+		{"16-core 4x4, 2 MCs", nocmem.Baseline16(), w.Halve},
+		{"32-core 4x8, 4 MCs", nocmem.Baseline32(), func() (nocmem.Workload, error) { return w, nil }},
+	}
+
+	for _, sys := range systems {
+		cfg := sys.cfg
+		cfg.Run.WarmupCycles = 50_000
+		cfg.Run.MeasureCycles = 200_000
+		cfg.S1.UpdatePeriod = 10_000
+		wl, err := sys.load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		row, err := nocmem.SpeedupFor(cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseUnfair, baseHarm, err := nocmem.Fairness(cfg, row.Base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s12Unfair, s12Harm, err := nocmem.Fairness(cfg, row.S1S2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s):\n", sys.name, wl.Name())
+		fmt.Printf("  normalized WS:   scheme-1 %.4f, scheme-1+2 %.4f\n", row.NormS1, row.NormS1S2)
+		fmt.Printf("  max slowdown:    base %.2f -> scheme-1+2 %.2f (lower is fairer)\n", baseUnfair, s12Unfair)
+		fmt.Printf("  harmonic speedup: base %.4f -> scheme-1+2 %.4f\n", baseHarm, s12Harm)
+		fmt.Printf("  avg net latency: base %.1f -> scheme-1+2 %.1f cycles\n\n",
+			row.Base.Net.AvgLatency(), row.S1S2.Net.AvgLatency())
+	}
+}

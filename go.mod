@@ -1,0 +1,3 @@
+module nocmem
+
+go 1.22

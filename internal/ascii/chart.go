@@ -1,0 +1,92 @@
+// Package ascii renders minimal terminal charts for the figure tools: a
+// horizontal bar chart for per-category comparisons (Figures 6, 11, 13) and
+// a sparkline for time series (Figure 14).
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bar renders one horizontal bar chart. Values must be non-negative; the
+// longest bar spans width characters. An optional baseline draws a marker
+// column (e.g. 1.0 for normalized speedups) when it falls inside the range.
+type Bar struct {
+	Width    int     // bar span in characters (default 50)
+	Baseline float64 // draw a marker at this value if > 0
+}
+
+// Render writes one row per label.
+func (b Bar) Render(w io.Writer, labels []string, values []float64) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("ascii: %d labels for %d values", len(labels), len(values))
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for i, v := range values {
+		if v < 0 {
+			return fmt.Errorf("ascii: negative value %v", v)
+		}
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	baseCol := -1
+	if b.Baseline > 0 && b.Baseline <= max {
+		baseCol = int(b.Baseline / max * float64(width))
+	}
+	for i, v := range values {
+		n := int(v / max * float64(width))
+		bar := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		if baseCol >= 0 && baseCol < len(bar) {
+			mark := byte('|')
+			if bar[baseCol] == '#' {
+				mark = '+'
+			}
+			bar = bar[:baseCol] + string(mark) + bar[baseCol+1:]
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s %.4g\n", labelW, labels[i], bar, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark returns a one-line sparkline of the series scaled to [min, max].
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package ascii
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestBarRender(t *testing.T) {
+	var buf bytes.Buffer
+	b := Bar{Width: 10}
+	if err := b.Render(&buf, []string{"a", "bb"}, []float64{5, 10}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if got := strings.Count(lines[0], "#"); got != 5 {
+		t.Errorf("first bar %d chars, want 5: %q", got, lines[0])
+	}
+	if got := strings.Count(lines[1], "#"); got != 10 {
+		t.Errorf("second bar %d chars, want 10: %q", got, lines[1])
+	}
+	if !strings.HasPrefix(lines[1], "bb ") || !strings.HasPrefix(lines[0], "a  ") {
+		t.Errorf("labels misaligned:\n%s", buf.String())
+	}
+}
+
+func TestBarBaselineMarker(t *testing.T) {
+	var buf bytes.Buffer
+	b := Bar{Width: 10, Baseline: 1.0}
+	if err := b.Render(&buf, []string{"x"}, []float64{2.0}); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline at half the max: a '+' (marker over bar) at column 5.
+	if !strings.Contains(buf.String(), "+") {
+		t.Errorf("no baseline marker in %q", buf.String())
+	}
+}
+
+func TestBarErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Bar{}).Render(&buf, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (Bar{}).Render(&buf, []string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if err := (Bar{}).Render(&buf, nil, nil); err != nil {
+		t.Errorf("empty chart should render fine: %v", err)
+	}
+}
+
+func TestBarAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Bar{Width: 5}).Render(&buf, []string{"z"}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	s := Spark([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("sparkline length %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline %q does not span the range", s)
+	}
+	if Spark(nil) != "" {
+		t.Error("empty input should give empty sparkline")
+	}
+	flat := Spark([]float64{2, 2, 2})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q", flat)
+		}
+	}
+}

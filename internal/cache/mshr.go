@@ -1,0 +1,69 @@
+package cache
+
+import "fmt"
+
+// MSHR is one miss-status holding register: an outstanding line fetch plus
+// every access coalesced onto it.
+type MSHR struct {
+	LineAddr uint64
+	Dirty    bool  // a store is among the waiters; fill installs dirty
+	Waiters  []any // opaque per-access tokens, completed together on fill
+}
+
+// MSHRTable tracks outstanding misses with coalescing. The zero value is
+// unusable; construct with NewMSHRTable.
+type MSHRTable struct {
+	cap     int
+	entries map[uint64]*MSHR
+}
+
+// NewMSHRTable returns a table with capacity for n outstanding lines.
+func NewMSHRTable(n int) *MSHRTable {
+	if n < 1 {
+		panic(fmt.Sprintf("cache: MSHR capacity %d", n))
+	}
+	return &MSHRTable{cap: n, entries: make(map[uint64]*MSHR, n)}
+}
+
+// Allocate registers a miss on lineAddr carrying the given waiter token.
+// primary is true when this miss must actually fetch the line (first miss);
+// a secondary miss coalesces onto the in-flight fetch. ok is false when the
+// table is full and the miss cannot be accepted this cycle.
+func (t *MSHRTable) Allocate(lineAddr uint64, isWrite bool, waiter any) (primary, ok bool) {
+	if m, exists := t.entries[lineAddr]; exists {
+		m.Waiters = append(m.Waiters, waiter)
+		m.Dirty = m.Dirty || isWrite
+		return false, true
+	}
+	if len(t.entries) >= t.cap {
+		return false, false
+	}
+	t.entries[lineAddr] = &MSHR{LineAddr: lineAddr, Dirty: isWrite, Waiters: []any{waiter}}
+	return true, true
+}
+
+// Complete removes and returns the entry for lineAddr; ok is false when no
+// miss was outstanding for that line.
+func (t *MSHRTable) Complete(lineAddr uint64) (*MSHR, bool) {
+	m, exists := t.entries[lineAddr]
+	if !exists {
+		return nil, false
+	}
+	delete(t.entries, lineAddr)
+	return m, true
+}
+
+// Pending reports whether a fetch of lineAddr is in flight.
+func (t *MSHRTable) Pending(lineAddr uint64) bool {
+	_, exists := t.entries[lineAddr]
+	return exists
+}
+
+// Len returns the number of outstanding lines.
+func (t *MSHRTable) Len() int { return len(t.entries) }
+
+// Cap returns the table capacity.
+func (t *MSHRTable) Cap() int { return t.cap }
+
+// Full reports whether no further primary miss can be accepted.
+func (t *MSHRTable) Full() bool { return len(t.entries) >= t.cap }

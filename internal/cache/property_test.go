@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFillThenContainsProperty: any just-filled line is present, and Access
+// on it hits.
+func TestFillThenContainsProperty(t *testing.T) {
+	c := New(16<<10, 64, 4)
+	f := func(a uint32, dirty bool) bool {
+		addr := uint64(a)
+		c.Fill(addr, dirty)
+		return c.Contains(addr) && c.Access(addr, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLineAddrProperty: LineAddr is idempotent, aligned, and preserves
+// membership of the line.
+func TestLineAddrProperty(t *testing.T) {
+	c := New(16<<10, 64, 4)
+	f := func(a uint32) bool {
+		addr := uint64(a)
+		l := c.LineAddr(addr)
+		return l%64 == 0 && c.LineAddr(l) == l && l <= addr && addr-l < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMSHRConservationProperty: across any sequence of allocations and
+// completions, every completed entry returns exactly the waiters that were
+// coalesced onto it, and occupancy never exceeds the capacity.
+func TestMSHRConservationProperty(t *testing.T) {
+	f := func(ops []uint8, capSel uint8) bool {
+		capacity := int(capSel%8) + 1
+		m := NewMSHRTable(capacity)
+		expect := map[uint64]int{} // line -> waiters coalesced
+		for i, op := range ops {
+			line := uint64(op%16) * 64
+			if op < 200 { // allocate
+				_, ok := m.Allocate(line, op%2 == 0, i)
+				if ok {
+					expect[line]++
+				} else if _, pending := expect[line]; pending {
+					return false // coalescing onto a pending line must succeed
+				}
+			} else { // complete
+				e, ok := m.Complete(line)
+				want, pending := expect[line]
+				if ok != pending {
+					return false
+				}
+				if ok {
+					if len(e.Waiters) != want {
+						return false
+					}
+					delete(expect, line)
+				}
+			}
+			if m.Len() > capacity || m.Len() != len(expect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUNeverEvictsMRUProperty: the line touched most recently is never the
+// one evicted by the next fill.
+func TestLRUNeverEvictsMRUProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := New(8*64, 64, 8) // one set
+	resident := []uint64{}
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(32)) << 20
+		if len(resident) > 0 && rng.Intn(2) == 0 {
+			mru := resident[rng.Intn(len(resident))]
+			if !c.Access(mru, false) {
+				continue
+			}
+			v, evicted := c.Fill(addr, false)
+			if evicted && v.Addr == mru {
+				t.Fatalf("evicted the MRU line %#x", mru)
+			}
+		} else {
+			c.Fill(addr, false)
+		}
+		if !contains(resident, addr) {
+			resident = append(resident, addr)
+		}
+		// Trim the tracking list to lines that are actually present.
+		kept := resident[:0]
+		for _, a := range resident {
+			if c.Contains(a) {
+				kept = append(kept, a)
+			}
+		}
+		resident = kept
+	}
+}
+
+func contains(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package cache
+
+import "fmt"
+
+// SNUCA is the static NUCA mapping of Kim et al. used by the paper: each
+// cache-line-sized unit of memory is statically mapped to one L2 bank by its
+// address, interleaving consecutive lines across the banks.
+type SNUCA struct {
+	lineShift uint
+	banks     uint64
+}
+
+// NewSNUCA returns a mapper over the given number of banks (one per tile;
+// must be a power of two) with the given line size.
+func NewSNUCA(banks, lineBytes int) SNUCA {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("cache: S-NUCA bank count %d must be a power of two", banks))
+	}
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: S-NUCA line size %d must be a power of two", lineBytes))
+	}
+	return SNUCA{lineShift: log2(uint64(lineBytes)), banks: uint64(banks)}
+}
+
+// Bank returns the L2 bank (tile index) holding addr.
+func (s SNUCA) Bank(addr uint64) int {
+	return int((addr >> s.lineShift) % s.banks)
+}
+
+// Banks returns the number of banks.
+func (s SNUCA) Banks() int { return int(s.banks) }
+
+// Local converts a global address to the bank-local address used to index
+// the owning bank's storage. Because consecutive lines interleave across the
+// banks, the low line-number bits within one bank are constant; indexing the
+// bank with the raw address would leave all but 1/banks of its sets unused.
+func (s SNUCA) Local(addr uint64) uint64 {
+	off := addr & ((1 << s.lineShift) - 1)
+	return ((addr >> s.lineShift) / s.banks << s.lineShift) | off
+}
+
+// Global reverses Local for a line that lives in the given bank.
+func (s SNUCA) Global(local uint64, bank int) uint64 {
+	off := local & ((1 << s.lineShift) - 1)
+	return ((local>>s.lineShift)*s.banks+uint64(bank))<<s.lineShift | off
+}

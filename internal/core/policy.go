@@ -1,0 +1,76 @@
+package core
+
+import (
+	"nocmem/internal/config"
+	"nocmem/internal/noc"
+)
+
+// Policy bundles the enabled schemes behind the three hooks the simulator
+// calls. A zero Policy (both schemes nil) is the unprioritized baseline.
+type Policy struct {
+	S1  *Scheme1
+	S2  *Scheme2
+	App *AppAware // comparison baseline; nil unless enabled
+}
+
+// NewPolicy constructs the policy selected by the configuration.
+func NewPolicy(cfg config.Config) *Policy {
+	p := &Policy{}
+	if cfg.S1.Enabled {
+		p.S1 = NewScheme1(cfg.S1, cfg.Mesh.Nodes())
+	}
+	if cfg.S2.Enabled {
+		p.S2 = NewScheme2(cfg.S2, cfg.Mesh.Nodes(), cfg.DRAM.Controllers*cfg.DRAM.BanksPerCtl)
+	}
+	return p
+}
+
+// BasePriority returns the static priority of an application's packets
+// under the application-aware baseline (Normal when it is disabled).
+func (p *Policy) BasePriority(coreID int) noc.Priority {
+	return p.App.Priority(coreID)
+}
+
+func maxPri(a, b noc.Priority) noc.Priority {
+	if a == noc.High || b == noc.High {
+		return noc.High
+	}
+	return noc.Normal
+}
+
+// RequestPriority classifies an off-chip request injected at node toward the
+// given global DRAM bank for the given application (Scheme-2 hook plus the
+// application-aware baseline; the L2 bank calls this on a miss).
+func (p *Policy) RequestPriority(node, bank, coreID int, now int64) noc.Priority {
+	pri := p.BasePriority(coreID)
+	if p.S2 != nil {
+		pri = maxPri(pri, p.S2.Classify(node, bank, now))
+	}
+	return pri
+}
+
+// ResponsePriority classifies a memory response about to be injected by a
+// controller, given the owning application and the message's so-far delay
+// (Scheme-1 hook plus the application-aware baseline).
+func (p *Policy) ResponsePriority(coreID int, soFarAge int64) noc.Priority {
+	pri := p.BasePriority(coreID)
+	if p.S1 != nil {
+		pri = maxPri(pri, p.S1.Classify(coreID, soFarAge))
+	}
+	return pri
+}
+
+// RoundTripDone feeds a completed off-chip access's end-to-end delay back to
+// the core-side average (Scheme-1 hook).
+func (p *Policy) RoundTripDone(coreID int, delay int64) {
+	if p.S1 != nil {
+		p.S1.RecordRoundTrip(coreID, delay)
+	}
+}
+
+// Tick advances time-driven state (threshold pushes).
+func (p *Policy) Tick(now int64) {
+	if p.S1 != nil {
+		p.S1.Tick(now)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"nocmem/internal/config"
+	"nocmem/internal/noc"
+)
+
+// BankHistory is one node's Bank History Table: for every (controller, bank)
+// pair it remembers the timestamps of the last th off-chip requests the node
+// sent there, enough to answer "did I send fewer than th requests to this
+// bank in the last T cycles?".
+type BankHistory struct {
+	window int64
+	th     int
+	stamps [][]int64 // [bank][th] ring of send times, -1 = never
+	pos    []int
+}
+
+// NewBankHistory builds a table over the given number of global banks.
+func NewBankHistory(banks int, window int64, th int) *BankHistory {
+	if banks < 1 || window <= 0 || th < 1 {
+		panic(fmt.Sprintf("core: bad bank history shape banks=%d window=%d th=%d", banks, window, th))
+	}
+	h := &BankHistory{window: window, th: th, stamps: make([][]int64, banks), pos: make([]int, banks)}
+	backing := make([]int64, banks*th)
+	for i := range backing {
+		backing[i] = -1
+	}
+	for b := range h.stamps {
+		h.stamps[b] = backing[b*th : (b+1)*th : (b+1)*th]
+	}
+	return h
+}
+
+// Record notes that a request to the given bank was sent at the given cycle.
+func (h *BankHistory) Record(bank int, now int64) {
+	h.stamps[bank][h.pos[bank]] = now
+	h.pos[bank] = (h.pos[bank] + 1) % h.th
+}
+
+// Idle reports whether fewer than th requests were sent to the bank within
+// the last window cycles — the node's local estimate that the bank is idle.
+func (h *BankHistory) Idle(bank int, now int64) bool {
+	recent := 0
+	for _, t := range h.stamps[bank] {
+		if t >= 0 && now-t < h.window {
+			recent++
+		}
+	}
+	return recent < h.th
+}
+
+// Scheme2 is the request-message bank-load balancer: one BankHistory per
+// node, consulted when an L2 miss generates an off-chip request.
+type Scheme2 struct {
+	cfg    config.Scheme2
+	tables []*BankHistory
+
+	Tagged  int64
+	Checked int64
+}
+
+// NewScheme2 builds the balancer for the given node and global-bank counts.
+func NewScheme2(cfg config.Scheme2, nodes, banks int) *Scheme2 {
+	s := &Scheme2{cfg: cfg, tables: make([]*BankHistory, nodes)}
+	for i := range s.tables {
+		s.tables[i] = NewBankHistory(banks, cfg.HistoryWindow, cfg.IdleThreshold)
+	}
+	return s
+}
+
+// Classify decides the priority of an off-chip request injected at the given
+// node toward the given global bank, and records the send in the node's
+// table.
+func (s *Scheme2) Classify(node, bank int, now int64) noc.Priority {
+	s.Checked++
+	t := s.tables[node]
+	idle := t.Idle(bank, now)
+	t.Record(bank, now)
+	if idle {
+		s.Tagged++
+		return noc.High
+	}
+	return noc.Normal
+}

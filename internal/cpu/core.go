@@ -1,0 +1,160 @@
+// Package cpu models the out-of-order cores of the target system
+// (Section 2.3): a fixed-size instruction window (ROB) filled at a given
+// width, in-order commit, and memory-level parallelism bounded by the LSQ
+// size and the L1 MSHRs. A load that completes late blocks the window head
+// and stalls the application — precisely the bottleneck behaviour the
+// paper's Scheme-1 targets.
+package cpu
+
+import (
+	"fmt"
+
+	"nocmem/internal/config"
+	"nocmem/internal/trace"
+)
+
+// IssueFunc sends one memory access into the memory hierarchy. complete must
+// be invoked exactly once, at the cycle the access's data is available. The
+// return value is false when the hierarchy cannot accept the access this
+// cycle (e.g. all L1 MSHRs busy); the core then stalls and retries.
+type IssueFunc func(addr uint64, isWrite bool, complete func(cycle int64)) bool
+
+type robEntry struct {
+	isMem  bool
+	done   bool
+	doneAt int64
+}
+
+// Stats counts core events within the current measurement window.
+type Stats struct {
+	Cycles       int64
+	Retired      int64
+	MemRetired   int64
+	FetchStalls  int64 // cycles fetch was blocked (window/LSQ/MSHR full)
+	WindowStalls int64 // cycles commit was blocked by an unfinished head
+	OutstandSum  int64 // sum over cycles of in-flight memory instructions
+}
+
+// IPC returns retired instructions per cycle in the window.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MLP returns the time-weighted average number of in-flight memory
+// instructions (the memory-level parallelism of Section 2.3).
+func (s Stats) MLP() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OutstandSum) / float64(s.Cycles)
+}
+
+// Core is one simulated out-of-order core. Not safe for concurrent use.
+type Core struct {
+	id    int
+	cfg   config.CPU
+	src   trace.Source
+	issue IssueFunc
+
+	rob   []robEntry
+	head  int
+	count int
+
+	memInFlight int
+
+	pending    trace.Instr
+	hasPending bool
+
+	stats Stats
+}
+
+// New builds a core running the given instruction stream.
+func New(id int, cfg config.CPU, src trace.Source, issue IssueFunc) *Core {
+	if src == nil || issue == nil {
+		panic(fmt.Sprintf("cpu: core %d missing instruction source or issue path", id))
+	}
+	return &Core{id: id, cfg: cfg, src: src, issue: issue, rob: make([]robEntry, cfg.WindowSize)}
+}
+
+// ID returns the core's tile index.
+func (c *Core) ID() int { return c.id }
+
+// Tick advances the core one cycle: commit in order, then fetch/issue.
+func (c *Core) Tick(now int64) {
+	c.stats.Cycles++
+	c.stats.OutstandSum += int64(c.memInFlight)
+	c.commit(now)
+	c.fetch(now)
+}
+
+func (c *Core) commit(now int64) {
+	for i := 0; i < c.cfg.Width && c.count > 0; i++ {
+		e := &c.rob[c.head]
+		if !e.done || now < e.doneAt {
+			if c.count == c.cfg.WindowSize {
+				c.stats.WindowStalls++
+			}
+			return
+		}
+		if e.isMem {
+			c.stats.MemRetired++
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.stats.Retired++
+	}
+}
+
+func (c *Core) fetch(now int64) {
+	for i := 0; i < c.cfg.Width; i++ {
+		if c.count == c.cfg.WindowSize {
+			c.stats.FetchStalls++
+			return
+		}
+		if !c.hasPending {
+			c.pending = c.src.Next()
+			c.hasPending = true
+		}
+		in := c.pending
+		slot := (c.head + c.count) % len(c.rob)
+		if !in.IsMem {
+			c.rob[slot] = robEntry{done: true, doneAt: now + c.cfg.NonMemLat}
+			c.count++
+			c.hasPending = false
+			continue
+		}
+		if c.memInFlight >= c.cfg.LSQSize {
+			c.stats.FetchStalls++
+			return
+		}
+		e := &c.rob[slot]
+		*e = robEntry{isMem: true} // written before issue so a same-cycle completion is kept
+		accepted := c.issue(in.Addr, in.IsStore, func(cycle int64) {
+			e.done = true
+			e.doneAt = cycle
+			c.memInFlight--
+		})
+		if !accepted {
+			c.stats.FetchStalls++
+			return
+		}
+		c.count++
+		c.memInFlight++
+		c.hasPending = false
+	}
+}
+
+// Outstanding returns the number of in-flight memory instructions.
+func (c *Core) Outstanding() int { return c.memInFlight }
+
+// WindowOccupancy returns the number of instructions in the ROB.
+func (c *Core) WindowOccupancy() int { return c.count }
+
+// Stats returns a copy of the window counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters at the warmup/measurement boundary.
+func (c *Core) ResetStats() { c.stats = Stats{} }

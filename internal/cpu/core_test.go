@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/trace"
+)
+
+func testCPU() config.CPU {
+	return config.Baseline32().CPU
+}
+
+// genFor builds a generator with the given profile tweaks.
+func genFor(t *testing.T, p trace.Profile) *trace.Generator {
+	t.Helper()
+	g, err := trace.NewGenerator(p, 0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pureCompute is a profile whose stream is (almost) free of memory ops.
+func pureCompute(t *testing.T) *trace.Generator {
+	p := trace.MustLookup("gamess")
+	p.MemFrac = 0.000001
+	p.MPKI = 0
+	p.WarmAPKI = 0
+	return genFor(t, p)
+}
+
+func TestPureComputeIPCEqualsWidth(t *testing.T) {
+	cfg := testCPU()
+	c := New(0, cfg, pureCompute(t), func(addr uint64, w bool, done func(int64)) bool {
+		t.Fatal("no memory access expected")
+		return false
+	})
+	for now := int64(0); now < 1000; now++ {
+		c.Tick(now)
+	}
+	ipc := c.Stats().IPC()
+	if ipc < float64(cfg.Width)*0.95 {
+		t.Errorf("compute-only IPC %.2f, want ~%d", ipc, cfg.Width)
+	}
+}
+
+// memIssue returns an IssueFunc that completes loads after a fixed latency,
+// tracked on a simple event list.
+type memSim struct {
+	now     int64
+	latency int64
+	pending []struct {
+		at int64
+		fn func(int64)
+	}
+	issued int
+}
+
+func (m *memSim) issue(addr uint64, isWrite bool, done func(int64)) bool {
+	m.issued++
+	m.pending = append(m.pending, struct {
+		at int64
+		fn func(int64)
+	}{m.now + m.latency, done})
+	return true
+}
+
+func (m *memSim) tick(now int64) {
+	m.now = now
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		if p.at <= now {
+			p.fn(now)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	m.pending = kept
+}
+
+// allMem is a profile where every instruction is a load.
+func allMem(t *testing.T) *trace.Generator {
+	p := trace.MustLookup("mcf")
+	p.MemFrac = 0.999999
+	p.StoreFrac = 0
+	return genFor(t, p)
+}
+
+func TestMemoryLatencyBoundsIPC(t *testing.T) {
+	cfg := testCPU()
+	ms := &memSim{latency: 200}
+	c := New(0, cfg, allMem(t), ms.issue)
+	for now := int64(0); now < 10000; now++ {
+		ms.tick(now)
+		c.Tick(now)
+	}
+	// All instructions are loads: throughput is bounded by
+	// LSQSize in-flight loads finishing every 200 cycles.
+	maxIPC := float64(cfg.LSQSize) / 200
+	ipc := c.Stats().IPC()
+	if ipc > maxIPC*1.05 {
+		t.Errorf("IPC %.3f exceeds the LSQ/latency bound %.3f", ipc, maxIPC)
+	}
+	if ipc < maxIPC*0.7 {
+		t.Errorf("IPC %.3f far below the achievable bound %.3f", ipc, maxIPC)
+	}
+}
+
+func TestLSQBoundsOutstanding(t *testing.T) {
+	cfg := testCPU()
+	ms := &memSim{latency: 100000} // never completes within the test
+	c := New(0, cfg, allMem(t), ms.issue)
+	for now := int64(0); now < 1000; now++ {
+		ms.tick(now)
+		c.Tick(now)
+		if c.Outstanding() > cfg.LSQSize {
+			t.Fatalf("outstanding %d exceeds LSQ %d", c.Outstanding(), cfg.LSQSize)
+		}
+	}
+	if c.Outstanding() != cfg.LSQSize {
+		t.Errorf("outstanding %d, want LSQ-full %d", c.Outstanding(), cfg.LSQSize)
+	}
+	if c.WindowOccupancy() > cfg.WindowSize {
+		t.Errorf("window occupancy %d exceeds %d", c.WindowOccupancy(), cfg.WindowSize)
+	}
+}
+
+func TestWindowBlocksOnUnfinishedHead(t *testing.T) {
+	cfg := testCPU()
+	cfg.LSQSize = cfg.WindowSize // isolate the window limit
+	ms := &memSim{latency: 100000}
+	c := New(0, cfg, allMem(t), ms.issue)
+	for now := int64(0); now < 1000; now++ {
+		ms.tick(now)
+		c.Tick(now)
+	}
+	if got := c.Stats().Retired; got != 0 {
+		t.Errorf("retired %d instructions with no completions", got)
+	}
+	if c.WindowOccupancy() != cfg.WindowSize {
+		t.Errorf("window %d, want full %d", c.WindowOccupancy(), cfg.WindowSize)
+	}
+	if c.Stats().WindowStalls == 0 {
+		t.Error("no window stalls recorded")
+	}
+}
+
+func TestIssueRejectionRetriesSameInstruction(t *testing.T) {
+	cfg := testCPU()
+	reject := true
+	issued := 0
+	c := New(0, cfg, allMem(t), func(addr uint64, w bool, done func(int64)) bool {
+		if reject {
+			return false
+		}
+		issued++
+		done(0)
+		return true
+	})
+	for now := int64(0); now < 10; now++ {
+		c.Tick(now)
+	}
+	if issued != 0 {
+		t.Fatal("instructions issued while hierarchy rejects")
+	}
+	stallsBefore := c.Stats().FetchStalls
+	if stallsBefore == 0 {
+		t.Fatal("no fetch stalls recorded during rejection")
+	}
+	reject = false
+	for now := int64(10); now < 20; now++ {
+		c.Tick(now)
+	}
+	if issued == 0 {
+		t.Fatal("no instructions issued after acceptance")
+	}
+}
+
+func TestCompletionsExactlyOnce(t *testing.T) {
+	cfg := testCPU()
+	ms := &memSim{latency: 50}
+	c := New(0, cfg, allMem(t), ms.issue)
+	for now := int64(0); now < 5000; now++ {
+		ms.tick(now)
+		c.Tick(now)
+	}
+	if c.Outstanding() < 0 {
+		t.Fatal("outstanding went negative: double completion")
+	}
+	st := c.Stats()
+	if st.MemRetired == 0 || st.MemRetired > st.Retired {
+		t.Errorf("mem retired %d of %d", st.MemRetired, st.Retired)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	cfg := testCPU()
+	c := New(0, cfg, pureCompute(t), func(uint64, bool, func(int64)) bool { return true })
+	for now := int64(0); now < 100; now++ {
+		c.Tick(now)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("stats not zeroed")
+	}
+	if c.ID() != 0 {
+		t.Fatal("id changed")
+	}
+}
+
+func TestMLPStat(t *testing.T) {
+	cfg := testCPU()
+	ms := &memSim{latency: 100}
+	c := New(0, cfg, allMem(t), ms.issue)
+	for now := int64(0); now < 5000; now++ {
+		ms.tick(now)
+		c.Tick(now)
+	}
+	mlp := c.Stats().MLP()
+	if mlp <= 1 || mlp > float64(cfg.LSQSize) {
+		t.Errorf("MLP %.2f out of (1, %d]", mlp, cfg.LSQSize)
+	}
+	var zero Stats
+	if zero.MLP() != 0 {
+		t.Error("zero stats MLP must be 0")
+	}
+}

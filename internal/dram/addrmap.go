@@ -1,0 +1,91 @@
+// Package dram models the off-chip memory system: memory controllers with
+// per-bank queues, an FR-FCFS scheduler, open-page DRAM banks with
+// activate/precharge/CAS timing, a shared data bus per channel, refresh,
+// and the bank-idleness monitoring that motivates Scheme-2.
+package dram
+
+import "fmt"
+
+// AddrMap decodes a physical address into (controller, bank, row) using the
+// cache-line interleaving of Section 4.1: consecutive lines of a page rotate
+// across the memory controllers (avoiding hot spots). Within a controller,
+// banks interleave at a coarser granularity (interleaveLines consecutive
+// per-controller lines stay in one bank), and the remaining column bits sit
+// below the row bits, so streaming patterns earn row-buffer hits while still
+// spreading across banks:
+//
+//	addr = [row | colHigh | bank | colLow | controller | line offset]
+type AddrMap struct {
+	lineShift   uint
+	ctlBits     uint
+	colLowBits  uint
+	bankBits    uint
+	colHighBits uint
+}
+
+// NewAddrMap builds the decoder. Controllers and banks must be powers of
+// two; rowBytes is the row-buffer size of one bank; interleaveLines is the
+// bank-interleave granularity in per-controller lines and must divide the
+// row's line count.
+func NewAddrMap(lineBytes, controllers, banks, rowBytes, interleaveLines int) (AddrMap, error) {
+	switch {
+	case lineBytes <= 0 || lineBytes&(lineBytes-1) != 0:
+		return AddrMap{}, fmt.Errorf("dram: line size %d must be a power of two", lineBytes)
+	case controllers <= 0 || controllers&(controllers-1) != 0:
+		return AddrMap{}, fmt.Errorf("dram: controller count %d must be a power of two", controllers)
+	case banks <= 0 || banks&(banks-1) != 0:
+		return AddrMap{}, fmt.Errorf("dram: bank count %d must be a power of two", banks)
+	case rowBytes < lineBytes || rowBytes&(rowBytes-1) != 0:
+		return AddrMap{}, fmt.Errorf("dram: row size %d must be a power of two >= line size", rowBytes)
+	case interleaveLines <= 0 || interleaveLines&(interleaveLines-1) != 0:
+		return AddrMap{}, fmt.Errorf("dram: bank interleave %d lines must be a power of two", interleaveLines)
+	case interleaveLines > rowBytes/lineBytes:
+		return AddrMap{}, fmt.Errorf("dram: bank interleave %d lines exceeds the row's %d lines",
+			interleaveLines, rowBytes/lineBytes)
+	}
+	colBits := log2(uint64(rowBytes / lineBytes))
+	colLow := log2(uint64(interleaveLines))
+	return AddrMap{
+		lineShift:   log2(uint64(lineBytes)),
+		ctlBits:     log2(uint64(controllers)),
+		colLowBits:  colLow,
+		bankBits:    log2(uint64(banks)),
+		colHighBits: colBits - colLow,
+	}, nil
+}
+
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// Controller returns the memory-controller index owning addr.
+func (m AddrMap) Controller(addr uint64) int {
+	return int((addr >> m.lineShift) & ((1 << m.ctlBits) - 1))
+}
+
+// Bank returns the bank index within the owning controller.
+func (m AddrMap) Bank(addr uint64) int {
+	return int((addr >> (m.lineShift + m.ctlBits + m.colLowBits)) & ((1 << m.bankBits) - 1))
+}
+
+// Row returns the DRAM row index within the bank.
+func (m AddrMap) Row(addr uint64) int64 {
+	return int64(addr >> (m.lineShift + m.ctlBits + m.colLowBits + m.bankBits + m.colHighBits))
+}
+
+// Controllers returns the number of memory controllers in the map.
+func (m AddrMap) Controllers() int { return 1 << m.ctlBits }
+
+// Banks returns the number of banks per controller.
+func (m AddrMap) Banks() int { return 1 << m.bankBits }
+
+// GlobalBank returns a system-unique bank identifier, used as the key of the
+// Scheme-2 bank history tables.
+func (m AddrMap) GlobalBank(addr uint64) int {
+	return m.Controller(addr)*m.Banks() + m.Bank(addr)
+}

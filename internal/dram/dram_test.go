@@ -1,0 +1,400 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocmem/internal/config"
+)
+
+func testDRAM() config.DRAM {
+	return config.Baseline32().DRAM
+}
+
+func TestAddrMapFields(t *testing.T) {
+	m, err := NewAddrMap(64, 4, 16, 8<<10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Controllers() != 4 || m.Banks() != 16 {
+		t.Fatalf("controllers=%d banks=%d", m.Controllers(), m.Banks())
+	}
+	// Consecutive lines rotate across controllers.
+	for i := uint64(0); i < 8; i++ {
+		if got, want := m.Controller(i*64), int(i%4); got != want {
+			t.Errorf("line %d controller %d, want %d", i, got, want)
+		}
+	}
+	// Within a controller, the first BankInterleaveLines per-controller
+	// lines share bank 0 and row 0; the next chunk moves to bank 1.
+	base := uint64(0)
+	for i := uint64(0); i < 16; i++ { // per-controller lines 0..15 (ctl 0)
+		addr := base + i*64*4
+		if got := m.Bank(addr); got != 0 {
+			t.Fatalf("per-ctl line %d bank %d, want 0", i, got)
+		}
+		if got := m.Row(addr); got != 0 {
+			t.Fatalf("per-ctl line %d row %d, want 0", i, got)
+		}
+	}
+	if got := m.Bank(16 * 64 * 4); got != 1 {
+		t.Errorf("17th per-ctl line bank %d, want 1", got)
+	}
+	// Row advances after all banks' column segments are exhausted:
+	// 16 banks x 128 columns of per-controller lines.
+	rowSpan := uint64(16*128) * 64 * 4
+	if got := m.Row(rowSpan); got != 1 {
+		t.Errorf("row at span %d = %d, want 1", rowSpan, got)
+	}
+}
+
+func TestAddrMapGlobalBankUnique(t *testing.T) {
+	m, err := NewAddrMap(64, 4, 16, 8<<10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a uint32) bool {
+		addr := uint64(a) * 64
+		gb := m.GlobalBank(addr)
+		return gb == m.Controller(addr)*16+m.Bank(addr) && gb >= 0 && gb < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrMapValidation(t *testing.T) {
+	cases := []struct{ line, ctl, banks, row, il int }{
+		{63, 4, 16, 8192, 16},  // non-pow2 line
+		{64, 3, 16, 8192, 16},  // non-pow2 controllers
+		{64, 4, 12, 8192, 16},  // non-pow2 banks
+		{64, 4, 16, 100, 16},   // non-pow2 row
+		{64, 4, 16, 32, 16},    // row < line
+		{64, 4, 16, 8192, 0},   // zero interleave
+		{64, 4, 16, 8192, 256}, // interleave > row lines
+	}
+	for i, c := range cases {
+		if _, err := NewAddrMap(c.line, c.ctl, c.banks, c.row, c.il); err == nil {
+			t.Errorf("case %d: invalid map accepted", i)
+		}
+	}
+}
+
+// collectCtl builds a controller recording completion order.
+func collectCtl(cfg config.DRAM, order *[]*Request) *Controller {
+	return NewController(cfg, 0, func(r *Request, now int64) { *order = append(*order, r) })
+}
+
+// mkReq builds a read request pre-decoded for bank/row.
+func mkReq(bank int, row int64) *Request {
+	return &Request{Bank: bank, Row: row}
+}
+
+func run(c *Controller, from, to int64) {
+	for now := from; now < to; now++ {
+		c.Tick(now)
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	a1, b, a2 := mkReq(0, 7), mkReq(0, 9), mkReq(0, 7)
+	for _, r := range []*Request{a1, b, a2} {
+		if err := c.Enqueue(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(c, 0, 2000)
+	if len(order) != 3 {
+		t.Fatalf("served %d of 3", len(order))
+	}
+	// After a1 opens row 7, a2 (same row) should be served before b.
+	if order[0] != a1 || order[1] != a2 || order[2] != b {
+		t.Errorf("service order [a1 b a2] -> got %v, want row hit a2 second", order)
+	}
+	st := c.Stats()
+	if st.RowHits != 1 {
+		t.Errorf("row hits %d, want 1", st.RowHits)
+	}
+}
+
+func TestFRFCFSStarvationCap(t *testing.T) {
+	cfg := testDRAM()
+	cfg.StarveLimit = 500
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	victim := mkReq(0, 99)
+	if err := c.Enqueue(mkReq(0, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(victim, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Keep feeding row-1 hits; the row-99 request must still be served
+	// within the starvation limit plus a couple of service times.
+	now := int64(0)
+	servedVictim := int64(-1)
+	for ; now < 5000; now++ {
+		if now%40 == 0 {
+			if err := c.Enqueue(mkReq(0, 1), now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Tick(now)
+		if servedVictim < 0 && victim.ScheduledAt > 0 {
+			servedVictim = victim.ScheduledAt
+			break
+		}
+	}
+	if servedVictim < 0 {
+		t.Fatal("starved request never served")
+	}
+	if servedVictim > cfg.StarveLimit+300 {
+		t.Errorf("starved request served at %d, want <= %d", servedVictim, cfg.StarveLimit+300)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	first, hit, conflict := mkReq(0, 1), mkReq(0, 1), mkReq(0, 2)
+	if err := c.Enqueue(first, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 0, 1000)
+	start := int64(1000)
+	if err := c.Enqueue(hit, start); err != nil {
+		t.Fatal(err)
+	}
+	run(c, start, 2000)
+	start2 := int64(2000)
+	if err := c.Enqueue(conflict, start2); err != nil {
+		t.Fatal(err)
+	}
+	run(c, start2, 3000)
+	hitLat := hit.DoneAt - hit.EnqueuedAt
+	confLat := conflict.DoneAt - conflict.EnqueuedAt
+	if hitLat >= confLat {
+		t.Errorf("row hit latency %d >= conflict latency %d", hitLat, confLat)
+	}
+	mult := int64(cfg.BusMultiplier)
+	wantHit := int64(cfg.CtlLatency) + mult*int64(cfg.TCAS+cfg.TBurst)
+	if hitLat != wantHit {
+		t.Errorf("row-hit latency %d, want %d", hitLat, wantHit)
+	}
+	wantConf := int64(cfg.CtlLatency) + mult*int64(cfg.TPrecharge+cfg.TActivate+cfg.TCAS+cfg.TBurst)
+	if confLat != wantConf {
+		t.Errorf("conflict latency %d, want %d", confLat, wantConf)
+	}
+}
+
+func TestSharedBusSerializesTransfers(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	// Two requests to different banks, same rows previously closed: bank
+	// access overlaps but the data transfers must not.
+	r1, r2 := mkReq(0, 1), mkReq(1, 1)
+	if err := c.Enqueue(r1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(r2, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 0, 2000)
+	if len(order) != 2 {
+		t.Fatalf("served %d of 2", len(order))
+	}
+	burst := int64(cfg.BusMultiplier * cfg.TBurst)
+	d := order[1].DoneAt - order[0].DoneAt
+	if d < burst {
+		t.Errorf("transfers finished %d cycles apart, want >= %d (bus serialization)", d, burst)
+	}
+}
+
+func TestWriteDrainPolicy(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	w := &Request{Bank: 0, Row: 5, IsWrite: true}
+	rd := mkReq(0, 6)
+	if err := c.Enqueue(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(rd, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 0, 2000)
+	if len(order) != 2 || order[0] != rd {
+		t.Fatalf("read should precede parked write; got order %v", order)
+	}
+	// With the write queue past the high watermark, writes go first.
+	var order2 []*Request
+	c2 := collectCtl(cfg, &order2)
+	for i := 0; i < cfg.WriteDrainHigh; i++ {
+		if err := c2.Enqueue(&Request{Bank: 0, Row: int64(i), IsWrite: true}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd2 := mkReq(0, 999)
+	if err := c2.Enqueue(rd2, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(c2, 0, 500)
+	if len(order2) == 0 || !order2[0].IsWrite {
+		t.Fatal("forced write drain should serve a write first")
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	cfg := testDRAM()
+	cfg.RefreshPeriod = 1000
+	cfg.RefreshCycles = 20
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	r1 := mkReq(0, 3)
+	if err := c.Enqueue(r1, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 0, 999)
+	// After the refresh at cycle 1000 the row is closed again: the next
+	// access to the same row is a row miss, not a hit.
+	r2 := mkReq(0, 3)
+	if err := c.Enqueue(r2, 1100); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 1100, 2500)
+	st := c.Stats()
+	if st.RowHits != 0 {
+		t.Errorf("row hits %d after refresh, want 0", st.RowHits)
+	}
+	if st.Refreshes == 0 {
+		t.Error("no refresh happened")
+	}
+}
+
+func TestIdlenessMonitoring(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	// Keep bank 0 loaded for the whole window; leave bank 1 idle.
+	for now := int64(0); now < 10000; now++ {
+		if now%30 == 0 {
+			if err := c.Enqueue(mkReq(0, now/30%4), now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Tick(now)
+	}
+	idle := c.Idleness()
+	if idle[0] > 0.5 {
+		t.Errorf("loaded bank idleness %.2f, want <= 0.5", idle[0])
+	}
+	if idle[1] < 0.95 {
+		t.Errorf("idle bank idleness %.2f, want >= 0.95", idle[1])
+	}
+}
+
+func TestQueueCap(t *testing.T) {
+	cfg := testDRAM()
+	cfg.QueueCap = 2
+	c := NewController(cfg, 0, func(*Request, int64) {})
+	if err := c.Enqueue(mkReq(0, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(mkReq(0, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(mkReq(0, 3), 0); err == nil {
+		t.Fatal("third enqueue should exceed the cap")
+	}
+	if err := c.Enqueue(&Request{Bank: 99}, 0); err == nil {
+		t.Fatal("out-of-range bank accepted")
+	}
+}
+
+func TestRequestDelaysTelescope(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	r := mkReq(3, 17)
+	if err := c.Enqueue(r, 5); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 5, 1000)
+	if r.QueueDelay()+r.ServiceDelay() != r.TotalDelay() {
+		t.Errorf("queue %d + service %d != total %d", r.QueueDelay(), r.ServiceDelay(), r.TotalDelay())
+	}
+	if r.TotalDelay() <= 0 {
+		t.Error("non-positive total delay")
+	}
+}
+
+func TestDerivedStats(t *testing.T) {
+	s := Stats{RowHits: 30, RowMisses: 10, RowConflicts: 60, QueueDepth: 500, QueueSamples: 100}
+	if got := s.RowHitRate(); got != 0.3 {
+		t.Errorf("row hit rate %v", got)
+	}
+	if got := s.AvgQueueDepth(); got != 5 {
+		t.Errorf("avg queue depth %v", got)
+	}
+	var zero Stats
+	if zero.RowHitRate() != 0 || zero.AvgQueueDepth() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestBusBusyAccounting(t *testing.T) {
+	cfg := testDRAM()
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	for i := 0; i < 4; i++ {
+		if err := c.Enqueue(mkReq(i, 1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(c, 0, 2000)
+	want := int64(4 * cfg.TBurst * cfg.BusMultiplier)
+	if got := c.Stats().BusBusy; got != want {
+		t.Errorf("bus busy %d cycles, want %d", got, want)
+	}
+}
+
+func TestAppAwareSchedulerPrefersSensitive(t *testing.T) {
+	cfg := testDRAM()
+	cfg.Sched = config.AppAwareMem
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	normal := mkReq(0, 1)
+	sens := &Request{Bank: 0, Row: 2, Sensitive: true}
+	if err := c.Enqueue(normal, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(sens, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(c, 0, 2000)
+	if len(order) != 2 || order[0] != sens {
+		t.Fatalf("sensitive request not served first")
+	}
+}
+
+func TestFCFSIgnoresRowHits(t *testing.T) {
+	cfg := testDRAM()
+	cfg.Sched = config.FCFS
+	var order []*Request
+	c := collectCtl(cfg, &order)
+	a1, b, a2 := mkReq(0, 7), mkReq(0, 9), mkReq(0, 7)
+	for _, r := range []*Request{a1, b, a2} {
+		if err := c.Enqueue(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(c, 0, 2000)
+	if len(order) != 3 || order[0] != a1 || order[1] != b || order[2] != a2 {
+		t.Fatalf("FCFS must serve strictly in order")
+	}
+}

@@ -1,0 +1,692 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section 4). Each Fig*/Table* function runs the simulations it needs
+// (sharing runs and alone-IPC measurements through an in-process cache) and
+// writes the same rows/series the paper plots as tab-separated text.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"nocmem/internal/config"
+	"nocmem/internal/sim"
+	"nocmem/internal/stats"
+	"nocmem/internal/trace"
+	"nocmem/internal/workload"
+)
+
+// Options scales the measurement protocol. The zero value selects the
+// defaults (100k warmup, 300k measurement — roughly 100x shorter than the
+// paper's windows, see DESIGN.md).
+type Options struct {
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          int64
+	// ThresholdPushPeriod overrides the Scheme-1 update period (scaled
+	// from the paper's 1 ms to fit the shorter windows).
+	ThresholdPushPeriod int64
+}
+
+func (o Options) apply(cfg config.Config) config.Config {
+	cfg.Run.WarmupCycles = 100_000
+	cfg.Run.MeasureCycles = 300_000
+	cfg.S1.UpdatePeriod = 20_000
+	if o.WarmupCycles > 0 {
+		cfg.Run.WarmupCycles = o.WarmupCycles
+	}
+	if o.MeasureCycles > 0 {
+		cfg.Run.MeasureCycles = o.MeasureCycles
+	}
+	if o.Seed != 0 {
+		cfg.Run.Seed = o.Seed
+	}
+	if o.ThresholdPushPeriod > 0 {
+		cfg.S1.UpdatePeriod = o.ThresholdPushPeriod
+	}
+	return cfg
+}
+
+// Runner executes and caches simulation runs for one Options setting.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	runs  map[string]*sim.Result
+	alone map[string]float64
+
+	// Progress, if set, receives one line per fresh simulation run.
+	Progress func(format string, args ...any)
+}
+
+// NewRunner returns a runner with an empty cache.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, runs: make(map[string]*sim.Result), alone: make(map[string]float64)}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(format, args...)
+	}
+}
+
+func cfgKey(cfg config.Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// run executes (or recalls) a full workload run.
+func (r *Runner) run(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
+	cfg = r.opts.apply(cfg)
+	key := cfgKey(cfg) + "|" + label
+	r.mu.Lock()
+	if res, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	padded := make([]trace.Profile, cfg.Mesh.Nodes())
+	copy(padded, apps)
+	s, err := sim.New(cfg, padded)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("running %s (mesh %dx%d, S1=%v S2=%v)...",
+		label, cfg.Mesh.Width, cfg.Mesh.Height, cfg.S1.Enabled, cfg.S2.Enabled)
+	res := s.Run()
+	r.mu.Lock()
+	r.runs[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// runWorkload executes a Table 2 workload.
+func (r *Runner) runWorkload(cfg config.Config, w workload.Workload) (*sim.Result, error) {
+	apps, err := w.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	return r.run(cfg, apps, w.Name())
+}
+
+// aloneIPC measures (and caches) one application's alone IPC on the
+// unprioritized system.
+func (r *Runner) aloneIPC(cfg config.Config, app trace.Profile) (float64, error) {
+	cfg = r.opts.apply(cfg.WithSchemes(false, false))
+	key := cfgKey(cfg) + "|alone|" + app.Name
+	r.mu.Lock()
+	if v, ok := r.alone[key]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	r.mu.Unlock()
+	res, err := r.run(cfg, []trace.Profile{app}, "alone-"+app.Name)
+	if err != nil {
+		return 0, err
+	}
+	ipc := res.IPC[0]
+	if ipc <= 0 {
+		return 0, fmt.Errorf("exp: alone IPC of %s is %v", app.Name, ipc)
+	}
+	r.mu.Lock()
+	r.alone[key] = ipc
+	r.mu.Unlock()
+	return ipc, nil
+}
+
+// weightedSpeedup computes WS for a finished run.
+func (r *Runner) weightedSpeedup(cfg config.Config, res *sim.Result) (float64, error) {
+	var shared, alone []float64
+	for _, tile := range res.ActiveTiles() {
+		a, err := r.aloneIPC(cfg, res.Apps[tile])
+		if err != nil {
+			return 0, err
+		}
+		shared = append(shared, res.IPC[tile])
+		alone = append(alone, a)
+	}
+	return stats.WeightedSpeedup(shared, alone)
+}
+
+// SpeedupRow is one workload's Figure 11 data point.
+type SpeedupRow struct {
+	Workload workload.Workload
+	Base     float64
+	NormS1   float64
+	NormS1S2 float64
+}
+
+// Speedups measures the normalized weighted speedups of the given workloads
+// under a configuration (Figure 11 / 15 / 16 / 17 core loop).
+func (r *Runner) Speedups(cfg config.Config, ws []workload.Workload) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, w := range ws {
+		row := SpeedupRow{Workload: w}
+		base, err := r.runWorkload(cfg.WithSchemes(false, false), w)
+		if err != nil {
+			return nil, err
+		}
+		if row.Base, err = r.weightedSpeedup(cfg, base); err != nil {
+			return nil, err
+		}
+		s1, err := r.runWorkload(cfg.WithSchemes(true, false), w)
+		if err != nil {
+			return nil, err
+		}
+		ws1, err := r.weightedSpeedup(cfg, s1)
+		if err != nil {
+			return nil, err
+		}
+		s12, err := r.runWorkload(cfg.WithSchemes(true, true), w)
+		if err != nil {
+			return nil, err
+		}
+		ws12, err := r.weightedSpeedup(cfg, s12)
+		if err != nil {
+			return nil, err
+		}
+		row.NormS1 = ws1 / row.Base
+		row.NormS1S2 = ws12 / row.Base
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// findApp returns the first tile of the run executing the named application.
+func findApp(res *sim.Result, name string) (int, error) {
+	for _, tile := range res.ActiveTiles() {
+		if res.Apps[tile].Name == name {
+			return tile, nil
+		}
+	}
+	return 0, fmt.Errorf("exp: no tile runs %s", name)
+}
+
+// Table1 prints the baseline configuration.
+func Table1(w io.Writer, cfg config.Config) {
+	fmt.Fprintf(w, "# Table 1: baseline configuration\n")
+	fmt.Fprintf(w, "Processors\t%d out-of-order cores, window %d, LSQ %d, width %d\n",
+		cfg.Mesh.Nodes(), cfg.CPU.WindowSize, cfg.CPU.LSQSize, cfg.CPU.Width)
+	fmt.Fprintf(w, "NoC\t%dx%d mesh, %d-stage routers, %d-bit flits, %d VCs/port, %d-flit buffers, X-Y routing\n",
+		cfg.Mesh.Width, cfg.Mesh.Height, cfg.NoC.Pipeline, cfg.NoC.FlitBits, cfg.NoC.VCsPerPort, cfg.NoC.BufferDepth)
+	fmt.Fprintf(w, "L1\t%d KB direct-mapped, %d B lines, %d-cycle\n",
+		cfg.L1.SizeBytes>>10, cfg.L1.LineBytes, cfg.L1.Latency)
+	fmt.Fprintf(w, "L2\t%d banks x %d KB, %d-way, %d-cycle, S-NUCA line interleaving\n",
+		cfg.Mesh.Nodes(), cfg.L2.SizeBytes>>10, cfg.L2.Ways, cfg.L2.Latency)
+	fmt.Fprintf(w, "Memory\t%d controllers x %d banks, bus multiplier %d, tRCD/tRP/tCL %d/%d/%d, burst %d, ctl latency %d, %d B rows\n",
+		cfg.DRAM.Controllers, cfg.DRAM.BanksPerCtl, cfg.DRAM.BusMultiplier,
+		cfg.DRAM.TActivate, cfg.DRAM.TPrecharge, cfg.DRAM.TCAS, cfg.DRAM.TBurst, cfg.DRAM.CtlLatency, cfg.DRAM.RowBytes)
+	fmt.Fprintf(w, "Schemes\tS1 threshold %.1fx avg (push every %d cycles), S2 T=%d th=%d, starvation window %d\n",
+		cfg.S1.ThresholdFactor, cfg.S1.UpdatePeriod, cfg.S2.HistoryWindow, cfg.S2.IdleThreshold, cfg.NoC.StarvationWindow)
+}
+
+// Table2 prints the 18 workloads.
+func Table2(w io.Writer) {
+	fmt.Fprintf(w, "# Table 2: multiprogrammed workloads\n")
+	for _, wl := range workload.All() {
+		fmt.Fprintf(w, "%s\t%s\t", wl.Name(), wl.Category)
+		for i, a := range wl.Apps {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s(%d)", a.Name, a.Count)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig4 prints the per-leg delay breakdown by total-delay range for the first
+// milc instance in workload-2 (base system).
+func (r *Runner) Fig4(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(2)
+	if err != nil {
+		return err
+	}
+	res, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	tile, err := findApp(res, "milc")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Fig 4: avg per-leg delays of off-chip accesses by total-delay range (milc, workload-2)\n")
+	fmt.Fprintf(w, "range_lo\trange_hi\tcount\tL1toL2\tL2toMem\tMem\tMemtoL2\tL2toL1\n")
+	for _, row := range res.Collector.Breakdown[tile].Rows() {
+		fmt.Fprintf(w, "%d\t%d\t%d", row.Lo, row.Hi, row.Count)
+		for l := stats.Leg(0); l < stats.NumLegs; l++ {
+			fmt.Fprintf(w, "\t%.1f", row.Avg[l])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig5 prints the latency distribution of the same milc instance.
+func (r *Runner) Fig5(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(2)
+	if err != nil {
+		return err
+	}
+	res, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	tile, err := findApp(res, "milc")
+	if err != nil {
+		return err
+	}
+	h := res.Collector.RoundTrip[tile]
+	fmt.Fprintf(w, "# Fig 5: off-chip latency distribution (milc, workload-2); mean=%.0f p90=%d p99=%d\n",
+		h.Mean(), h.Percentile(90), h.Percentile(99))
+	fmt.Fprintf(w, "delay\tfraction\n")
+	for _, p := range h.PDF() {
+		if p.Y > 0 {
+			fmt.Fprintf(w, "%d\t%.5f\n", p.X, p.Y)
+		}
+	}
+	return nil
+}
+
+// Fig6 prints the average idleness of the banks of the first memory
+// controller under workload-1 (base system).
+func (r *Runner) Fig6(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(1)
+	if err != nil {
+		return err
+	}
+	res, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Fig 6: average idleness of MC0 banks (workload-1, base)\n")
+	fmt.Fprintf(w, "bank\tidleness\n")
+	for b, v := range res.BankIdleness[0] {
+		fmt.Fprintf(w, "%d\t%.3f\n", b, v)
+	}
+	return nil
+}
+
+// Fig9 prints the round-trip and so-far delay distributions with the
+// averages and the Scheme-1 threshold marked (milc, workload-2).
+func (r *Runner) Fig9(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(2)
+	if err != nil {
+		return err
+	}
+	res, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	tile, err := findApp(res, "milc")
+	if err != nil {
+		return err
+	}
+	rt, sf := res.Collector.RoundTrip[tile], res.Collector.SoFar[tile]
+	fmt.Fprintf(w, "# Fig 9: round-trip vs so-far delay distributions (milc, workload-2)\n")
+	fmt.Fprintf(w, "# Delay_avg=%.0f Delay_so_far_avg=%.0f threshold(1.2x)=%.0f\n",
+		rt.Mean(), sf.Mean(), 1.2*rt.Mean())
+	fmt.Fprintf(w, "delay\tround_trip\tso_far\n")
+	pdfRT, pdfSF := rt.PDF(), sf.PDF()
+	for i := range pdfRT {
+		if pdfRT[i].Y == 0 && pdfSF[i].Y == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%.5f\t%.5f\n", pdfRT[i].X, pdfRT[i].Y, pdfSF[i].Y)
+	}
+	return nil
+}
+
+// Fig11 prints the normalized weighted speedups of all 18 workloads on the
+// 32-core system (Scheme-1 alone and Scheme-1+2).
+func (r *Runner) Fig11(w io.Writer, cfg config.Config, ids []int) error {
+	var wls []workload.Workload
+	for _, id := range ids {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		wls = append(wls, wl)
+	}
+	rows, err := r.Speedups(cfg, wls)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Fig 11: normalized weighted speedup, %d-core system\n", cfg.Mesh.Nodes())
+	fmt.Fprintf(w, "workload\tcategory\tbase_ws\tscheme1\tscheme1+2\n")
+	sums := map[workload.Category][3]float64{}
+	counts := map[workload.Category]int{}
+	for _, row := range rows {
+		fmt.Fprintf(w, "w-%d\t%s\t%.3f\t%.4f\t%.4f\n",
+			row.Workload.ID, row.Workload.Category, row.Base, row.NormS1, row.NormS1S2)
+		s := sums[row.Workload.Category]
+		s[0] += row.Base
+		s[1] += row.NormS1
+		s[2] += row.NormS1S2
+		sums[row.Workload.Category] = s
+		counts[row.Workload.Category]++
+	}
+	cats := make([]workload.Category, 0, len(sums))
+	for c := range sums {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		n := float64(counts[c])
+		s := sums[c]
+		fmt.Fprintf(w, "avg:%s\t\t%.3f\t%.4f\t%.4f\n", c, s[0]/n, s[1]/n, s[2]/n)
+	}
+	return nil
+}
+
+// Fig12 prints the CDFs of the first 8 applications of workload-1 under the
+// base system and under Scheme-1, plus the lbm PDF shift (regions 1/2).
+func (r *Runner) Fig12(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(1)
+	if err != nil {
+		return err
+	}
+	base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	s1, err := r.runWorkload(cfg.WithSchemes(true, false), wl)
+	if err != nil {
+		return err
+	}
+	tiles := base.ActiveTiles()[:8]
+	fmt.Fprintf(w, "# Fig 12a/b: off-chip latency CDFs of the first 8 applications of workload-1\n")
+	fmt.Fprintf(w, "delay")
+	for _, tile := range tiles {
+		fmt.Fprintf(w, "\t%s.base\t%s.s1", base.Apps[tile].Name, base.Apps[tile].Name)
+	}
+	fmt.Fprintln(w)
+	cdfs := make([][]stats.Point, 0, 2*len(tiles))
+	for _, tile := range tiles {
+		cdfs = append(cdfs, base.Collector.RoundTrip[tile].CDF(), s1.Collector.RoundTrip[tile].CDF())
+	}
+	for i := range cdfs[0] {
+		done := true
+		for _, c := range cdfs {
+			if c[i].Y < 1 {
+				done = false
+			}
+		}
+		fmt.Fprintf(w, "%d", cdfs[0][i].X)
+		for _, c := range cdfs {
+			fmt.Fprintf(w, "\t%.4f", c[i].Y)
+		}
+		fmt.Fprintln(w)
+		if done {
+			break
+		}
+	}
+
+	// The p90 shift the paper highlights, averaged over the 8 apps.
+	var p90b, p90s float64
+	for _, tile := range tiles {
+		p90b += float64(base.Collector.RoundTrip[tile].Percentile(90)) / float64(len(tiles))
+		p90s += float64(s1.Collector.RoundTrip[tile].Percentile(90)) / float64(len(tiles))
+	}
+	fmt.Fprintf(w, "# avg p90: base=%.0f scheme1=%.0f\n", p90b, p90s)
+
+	lbm, err := findApp(base, "lbm")
+	if err != nil {
+		return err
+	}
+	hb, hs := base.Collector.RoundTrip[lbm], s1.Collector.RoundTrip[lbm]
+	fmt.Fprintf(w, "# Fig 12c: lbm latency PDF before/after Scheme-1; region boundary = 1.2x base mean = %.0f\n", 1.2*hb.Mean())
+	fmt.Fprintf(w, "# fraction in region-1 (late): base=%.4f scheme1=%.4f\n",
+		hb.FractionAbove(int64(1.2*hb.Mean())), hs.FractionAbove(int64(1.2*hb.Mean())))
+	fmt.Fprintf(w, "delay\tbase\tscheme1\n")
+	pb, ps := hb.PDF(), hs.PDF()
+	for i := range pb {
+		if pb[i].Y == 0 && ps[i].Y == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%.5f\t%.5f\n", pb[i].X, pb[i].Y, ps[i].Y)
+	}
+	return nil
+}
+
+// Fig13 prints per-bank idleness with and without Scheme-2 (workload-1).
+func (r *Runner) Fig13(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(1)
+	if err != nil {
+		return err
+	}
+	base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	s2, err := r.runWorkload(cfg.WithSchemes(false, true), wl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Fig 13: MC0 bank idleness, default vs Scheme-2 (workload-1)\n")
+	fmt.Fprintf(w, "bank\tdefault\tscheme2\n")
+	for b := range base.BankIdleness[0] {
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", b, base.BankIdleness[0][b], s2.BankIdleness[0][b])
+	}
+	return nil
+}
+
+// Fig14 prints average bank idleness over time, default vs Scheme-2.
+func (r *Runner) Fig14(w io.Writer, cfg config.Config) error {
+	wl, err := workload.Get(1)
+	if err != nil {
+		return err
+	}
+	base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+	if err != nil {
+		return err
+	}
+	s2, err := r.runWorkload(cfg.WithSchemes(false, true), wl)
+	if err != nil {
+		return err
+	}
+	avgAt := func(res *sim.Result) map[int64]float64 {
+		sum := map[int64]float64{}
+		n := map[int64]int{}
+		for _, series := range res.IdleSeries {
+			for _, p := range series.Points() {
+				sum[p.Cycle] += p.Avg
+				n[p.Cycle]++
+			}
+		}
+		for k := range sum {
+			sum[k] /= float64(n[k])
+		}
+		return sum
+	}
+	b, s := avgAt(base), avgAt(s2)
+	var cycles []int64
+	for c := range b {
+		cycles = append(cycles, c)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	fmt.Fprintf(w, "# Fig 14: average bank idleness over time (workload-1)\n")
+	fmt.Fprintf(w, "cycle\tdefault\tscheme2\n")
+	for _, c := range cycles {
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", c, b[c], s[c])
+	}
+	return nil
+}
+
+// Fig15 prints the 16-core speedups (halved workloads, 4x4 mesh, 2 MCs).
+func (r *Runner) Fig15(w io.Writer, ids []int) error {
+	cfg := config.Baseline16()
+	var wls []workload.Workload
+	for _, id := range ids {
+		full, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		half, err := full.Halve()
+		if err != nil {
+			return err
+		}
+		wls = append(wls, half)
+	}
+	rows, err := r.Speedups(cfg, wls)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Fig 15: normalized weighted speedup, 16-core 4x4 system, halved workloads\n")
+	fmt.Fprintf(w, "workload\tcategory\tbase_ws\tscheme1\tscheme1+2\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "w-%d\t%s\t%.3f\t%.4f\t%.4f\n",
+			row.Workload.ID, row.Workload.Category, row.Base, row.NormS1, row.NormS1S2)
+	}
+	return nil
+}
+
+// Fig16a prints the Scheme-1 threshold sensitivity (workloads 1-6).
+func (r *Runner) Fig16a(w io.Writer, cfg config.Config, factors []float64) error {
+	fmt.Fprintf(w, "# Fig 16a: Scheme-1 threshold sensitivity (mixed workloads)\n")
+	fmt.Fprintf(w, "workload")
+	for _, f := range factors {
+		fmt.Fprintf(w, "\t%.1fx", f)
+	}
+	fmt.Fprintln(w)
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+		if err != nil {
+			return err
+		}
+		bws, err := r.weightedSpeedup(cfg, base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "w-%d", id)
+		for _, f := range factors {
+			c := cfg.WithSchemes(true, false)
+			c.S1.ThresholdFactor = f
+			res, err := r.runWorkload(c, wl)
+			if err != nil {
+				return err
+			}
+			ws, err := r.weightedSpeedup(cfg, res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.4f", ws/bws)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig16b prints the Scheme-2 history-length sensitivity (workloads 1-6).
+func (r *Runner) Fig16b(w io.Writer, cfg config.Config, windows []int64) error {
+	fmt.Fprintf(w, "# Fig 16b: Scheme-2 history length T sensitivity (mixed workloads)\n")
+	fmt.Fprintf(w, "workload")
+	for _, T := range windows {
+		fmt.Fprintf(w, "\tT=%d", T)
+	}
+	fmt.Fprintln(w)
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
+		if err != nil {
+			return err
+		}
+		bws, err := r.weightedSpeedup(cfg, base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "w-%d", id)
+		for _, T := range windows {
+			c := cfg.WithSchemes(true, true)
+			c.S2.HistoryWindow = T
+			res, err := r.runWorkload(c, wl)
+			if err != nil {
+				return err
+			}
+			ws, err := r.weightedSpeedup(cfg, res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.4f", ws/bws)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig16c prints the sensitivity to the number of memory controllers.
+func (r *Runner) Fig16c(w io.Writer, cfg config.Config) error {
+	fmt.Fprintf(w, "# Fig 16c: 2 vs 4 memory controllers, Scheme-1+2 (mixed workloads)\n")
+	fmt.Fprintf(w, "workload\t2mc\t4mc\n")
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "w-%d", id)
+		for _, mcs := range []int{2, 4} {
+			c := cfg
+			c.DRAM.Controllers = mcs
+			base, err := r.runWorkload(c.WithSchemes(false, false), wl)
+			if err != nil {
+				return err
+			}
+			bws, err := r.weightedSpeedup(c, base)
+			if err != nil {
+				return err
+			}
+			res, err := r.runWorkload(c.WithSchemes(true, true), wl)
+			if err != nil {
+				return err
+			}
+			ws, err := r.weightedSpeedup(c, res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.4f", ws/bws)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig17 prints the router-pipeline sensitivity (5-stage vs 2-stage).
+func (r *Runner) Fig17(w io.Writer, cfg config.Config) error {
+	fmt.Fprintf(w, "# Fig 17: 5-stage vs 2-stage router pipelines, Scheme-1+2 (mixed workloads)\n")
+	fmt.Fprintf(w, "workload\t5stage\t2stage\n")
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "w-%d", id)
+		for _, p := range []config.RouterPipeline{config.Pipeline5, config.Pipeline2} {
+			c := cfg
+			c.NoC.Pipeline = p
+			base, err := r.runWorkload(c.WithSchemes(false, false), wl)
+			if err != nil {
+				return err
+			}
+			bws, err := r.weightedSpeedup(c, base)
+			if err != nil {
+				return err
+			}
+			res, err := r.runWorkload(c.WithSchemes(true, true), wl)
+			if err != nil {
+				return err
+			}
+			ws, err := r.weightedSpeedup(c, res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.4f", ws/bws)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/workload"
+)
+
+// tinyOpts keeps exp tests fast: the 32-core runs below take ~0.1s each.
+func tinyOpts() Options {
+	return Options{WarmupCycles: 2_000, MeasureCycles: 15_000, Seed: 1, ThresholdPushPeriod: 2_000}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, config.Baseline32())
+	out := buf.String()
+	for _, want := range []string{"32 out-of-order cores", "8x4 mesh", "4 controllers x 16 banks", "S-NUCA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	out := buf.String()
+	if got := strings.Count(out, "workload-"); got != 18 {
+		t.Errorf("%d workload rows, want 18", got)
+	}
+	for _, want := range []string{"workload-7\tmem-intensive", "mcf(3), lbm(2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 missing %q", want)
+		}
+	}
+}
+
+func TestFig4RowsParse(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	var buf bytes.Buffer
+	if err := r.Fig4(&buf, config.Baseline32()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("fig4 produced only %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "range_lo\trange_hi") {
+		t.Errorf("missing header: %s", lines[1])
+	}
+	for _, l := range lines[2:] {
+		if got := len(strings.Split(l, "\t")); got != 8 {
+			t.Errorf("row has %d columns, want 8: %s", got, l)
+		}
+	}
+}
+
+func TestFig6AllBanksReported(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	var buf bytes.Buffer
+	if err := r.Fig6(&buf, config.Baseline32()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if got := len(lines) - 2; got != 16 { // header lines + 16 banks
+		t.Errorf("%d bank rows, want 16", got)
+	}
+}
+
+func TestSpeedupsRunsCacheAndNormalize(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	w, err := workload.Get(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Speedups(config.Baseline32(), []workload.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	row := rows[0]
+	if row.Base <= 0 || row.NormS1 <= 0 || row.NormS1S2 <= 0 {
+		t.Errorf("row %+v", row)
+	}
+	// A second identical request must be served entirely from the cache
+	// (same pointer results -> identical values, quickly).
+	rows2, err := r.Speedups(config.Baseline32(), []workload.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows2[0].Base != row.Base || rows2[0].NormS1 != row.NormS1 || rows2[0].NormS1S2 != row.NormS1S2 {
+		t.Errorf("cached rerun differs: %+v vs %+v", rows2[0], row)
+	}
+}
+
+func TestFig16aShape(t *testing.T) {
+	// Only exercise the plumbing on a single factor to keep this fast.
+	r := NewRunner(tinyOpts())
+	var buf bytes.Buffer
+	if err := r.Fig16a(&buf, config.Baseline32(), []float64{1.2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if got := len(lines) - 2; got != 6 { // header + 6 mixed workloads
+		t.Errorf("%d workload rows, want 6\n%s", got, buf.String())
+	}
+}
+
+// TestAllFiguresSmoke drives every figure generator once at miniature scale,
+// verifying that each produces parseable, non-empty output.
+func TestAllFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	r := NewRunner(Options{WarmupCycles: 1_000, MeasureCycles: 8_000, Seed: 1, ThresholdPushPeriod: 2_000})
+	cfg := config.Baseline32()
+	cases := []struct {
+		name string
+		run  func(buf *bytes.Buffer) error
+	}{
+		{"fig5", func(b *bytes.Buffer) error { return r.Fig5(b, cfg) }},
+		{"fig9", func(b *bytes.Buffer) error { return r.Fig9(b, cfg) }},
+		{"fig11", func(b *bytes.Buffer) error { return r.Fig11(b, cfg, []int{13}) }},
+		{"fig12", func(b *bytes.Buffer) error { return r.Fig12(b, cfg) }},
+		{"fig13", func(b *bytes.Buffer) error { return r.Fig13(b, cfg) }},
+		{"fig14", func(b *bytes.Buffer) error { return r.Fig14(b, cfg) }},
+		{"fig15", func(b *bytes.Buffer) error { return r.Fig15(b, []int{13}) }},
+		{"fig16b", func(b *bytes.Buffer) error { return r.Fig16b(b, cfg, []int64{2000}) }},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := tc.run(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) < 3 {
+			t.Errorf("%s produced only %d lines", tc.name, len(lines))
+		}
+		for _, l := range lines {
+			if strings.Contains(l, "NaN") || strings.Contains(l, "Inf") {
+				t.Errorf("%s contains invalid numbers: %s", tc.name, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package noc
+
+import "nocmem/internal/config"
+
+// arbPolicy captures the arbitration rule parameters derived from the
+// network configuration.
+type arbPolicy struct {
+	mode          config.AntiStarvation
+	window        int64 // AgeWindow bound
+	batchInterval int64 // Batching interval
+}
+
+func newArbPolicy(cfg config.NoC) arbPolicy {
+	return arbPolicy{mode: cfg.StarvationMode, window: cfg.StarvationWindow, batchInterval: cfg.BatchInterval}
+}
+
+// candidate is one arbitration contender: a flit plus its effective age
+// (packet so-far delay plus local residence, per Section 3.3: "the routers
+// also consider the local delays in addition to the age fields") and, for
+// batching mode, the batch its packet was injected in.
+type candidate struct {
+	f     *flit
+	age   int64
+	batch int64
+	// ord breaks ties deterministically (port/VC index).
+	ord int
+}
+
+func (r *router) makeCandidate(f *flit, now int64, ord int) candidate {
+	c := candidate{f: f, age: f.pkt.Age + (now - f.routerEntry), ord: ord}
+	if r.net.arb.mode == config.Batching {
+		c.batch = f.pkt.InjectedAt / r.net.arb.batchInterval
+	}
+	return c
+}
+
+// beats reports whether candidate a should win arbitration over b.
+//
+// AgeWindow (the paper's default): a high-priority flit beats a normal one
+// unless the normal flit's age exceeds the high-priority flit's age by more
+// than the starvation window; within a class, older wins.
+//
+// Batching: packets of older batches always rank first; priority (then age)
+// only breaks ties within a batch.
+func (a candidate) beats(b candidate, pol arbPolicy) bool {
+	if pol.mode == config.Batching && a.batch != b.batch {
+		return a.batch < b.batch
+	}
+	aHigh := a.f.pkt.Priority == High
+	bHigh := b.f.pkt.Priority == High
+	if aHigh != bHigh {
+		if pol.mode == config.Batching {
+			return aHigh // within a batch, priority rules unconditionally
+		}
+		if aHigh {
+			// a keeps its high-priority advantage only while b has
+			// not starved past the window.
+			return b.age-a.age <= pol.window
+		}
+		return a.age-b.age > pol.window
+	}
+	if a.age != b.age {
+		return a.age > b.age // oldest first
+	}
+	return a.ord < b.ord
+}
+
+// pickBest returns the index of the winning candidate, or -1 when empty.
+func pickBest(cands []candidate, pol arbPolicy) int {
+	best := -1
+	for i := range cands {
+		if best == -1 || cands[i].beats(cands[best], pol) {
+			best = i
+		}
+	}
+	return best
+}

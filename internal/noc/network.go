@@ -1,0 +1,220 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocmem/internal/config"
+)
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Injected     int64
+	Delivered    int64
+	FlitHops     int64
+	LatencySum   int64 // sum of per-packet network latencies
+	HighInjected int64
+	InFlight     int64
+}
+
+// AvgLatency returns the mean delivered-packet network latency.
+func (s Stats) AvgLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Delivered)
+}
+
+// Sink receives reassembled packets at their destination tile. The cycle is
+// the tail-flit ejection time; the packet is available to the endpoint from
+// that cycle on.
+type Sink func(p *Packet, cycle int64)
+
+// Network is a W x H mesh of wormhole VC routers.
+type Network struct {
+	cfg     config.NoC
+	arb     arbPolicy
+	w, h    int
+	routers []*router
+	sinks   []Sink
+	stats   Stats
+	pktSeq  uint64
+}
+
+// New builds the mesh. Sinks default to discarding packets; endpoints
+// register theirs with SetSink.
+func New(mesh config.Mesh, cfg config.NoC) (*Network, error) {
+	full := config.Baseline32()
+	full.Mesh, full.NoC = mesh, cfg
+	if err := full.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, arb: newArbPolicy(cfg), w: mesh.Width, h: mesh.Height}
+	n.routers = make([]*router, mesh.Nodes())
+	n.sinks = make([]Sink, mesh.Nodes())
+	for i := range n.routers {
+		r := &router{id: i, x: i % n.w, y: i / n.w, net: n, div: 1}
+		if d, ok := cfg.ClockDivisors[i]; ok {
+			r.div = int64(d)
+		}
+		for p := 0; p < NumPorts; p++ {
+			r.in[p] = make([]inVC, cfg.VCsPerPort)
+			r.out[p] = make([]outVC, cfg.VCsPerPort)
+			for vc := range r.out[p] {
+				r.out[p][vc].credits = cfg.BufferDepth
+			}
+		}
+		r.inj = make([]injSlot, cfg.VCsPerPort)
+		n.routers[i] = r
+	}
+	for _, r := range n.routers {
+		if r.y > 0 {
+			r.neighbor[PortNorth] = n.routers[r.id-n.w]
+		}
+		if r.y < n.h-1 {
+			r.neighbor[PortSouth] = n.routers[r.id+n.w]
+		}
+		if r.x > 0 {
+			r.neighbor[PortWest] = n.routers[r.id-1]
+		}
+		if r.x < n.w-1 {
+			r.neighbor[PortEast] = n.routers[r.id+1]
+		}
+	}
+	return n, nil
+}
+
+// Nodes returns the number of tiles.
+func (n *Network) Nodes() int { return len(n.routers) }
+
+// Width returns the mesh width.
+func (n *Network) Width() int { return n.w }
+
+// Height returns the mesh height.
+func (n *Network) Height() int { return n.h }
+
+func (n *Network) xOf(node int) int { return node % n.w }
+func (n *Network) yOf(node int) int { return node / n.w }
+
+// HopDistance returns the Manhattan distance between two tiles (the number
+// of routers a packet traverses is HopDistance+1).
+func (n *Network) HopDistance(a, b int) int {
+	dx := n.xOf(a) - n.xOf(b)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := n.yOf(a) - n.yOf(b)
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// SetSink registers the delivery callback for a tile.
+func (n *Network) SetSink(node int, s Sink) {
+	n.sinks[node] = s
+}
+
+// Inject offers a packet to its source tile's outbox at the given cycle.
+// The packet starts moving through the router on the next network tick.
+func (n *Network) Inject(p *Packet, now int64) error {
+	if err := p.Validate(len(n.routers)); err != nil {
+		return err
+	}
+	if p.ID == 0 {
+		n.pktSeq++
+		p.ID = n.pktSeq
+	}
+	p.InjectedAt = now
+	p.EjectedAt = 0
+	p.Hops = 0
+	p.ejectedFlits = 0
+	r := n.routers[p.Src]
+	// The outbox is priority-ordered: endpoints inject expedited messages
+	// first (stable within a class, so normal traffic keeps FIFO order).
+	q := r.outbox[p.VNet]
+	if p.Priority == High {
+		i := len(q)
+		for i > 0 && q[i-1].Priority != High {
+			i--
+		}
+		q = append(q, nil)
+		copy(q[i+1:], q[i:])
+		q[i] = p
+	} else {
+		q = append(q, p)
+	}
+	r.outbox[p.VNet] = q
+	n.stats.Injected++
+	n.stats.InFlight++
+	if p.Priority == High {
+		n.stats.HighInjected++
+	}
+	return nil
+}
+
+// Tick advances every router by one cycle.
+func (n *Network) Tick(now int64) {
+	for _, r := range n.routers {
+		r.tick(now)
+	}
+}
+
+// complete is called by a router when a packet's tail flit ejects.
+func (n *Network) complete(p *Packet, at int64) {
+	n.stats.Delivered++
+	n.stats.InFlight--
+	n.stats.LatencySum += p.NetLatency()
+	if s := n.sinks[p.Dst]; s != nil {
+		s(p, at)
+	}
+}
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the cumulative counters, preserving in-flight tracking.
+func (n *Network) ResetStats() {
+	inFlight := n.stats.InFlight
+	n.stats = Stats{InFlight: inFlight}
+}
+
+// LinkLoad reports, for every router, the flits forwarded per output port
+// since construction (index by the Port* constants; PortLocal counts
+// ejections). Dividing by elapsed cycles gives per-link utilization in
+// flits/cycle (capacity 1).
+func (n *Network) LinkLoad() [][NumPorts]int64 {
+	out := make([][NumPorts]int64, len(n.routers))
+	for i, r := range n.routers {
+		out[i] = r.flitsOut
+	}
+	return out
+}
+
+// MaxLinkLoad returns the largest per-port flit count across all routers,
+// excluding local ejections — the hottest mesh link.
+func (n *Network) MaxLinkLoad() int64 {
+	var m int64
+	for _, r := range n.routers {
+		for p := PortNorth; p < NumPorts; p++ {
+			if r.flitsOut[p] > m {
+				m = r.flitsOut[p]
+			}
+		}
+	}
+	return m
+}
+
+// Quiesce verifies that no packet is buffered, in flight or awaiting
+// injection anywhere; used by tests to prove message conservation.
+func (n *Network) Quiesce() error {
+	if n.stats.InFlight != 0 {
+		return fmt.Errorf("noc: %d packets still in flight", n.stats.InFlight)
+	}
+	for _, r := range n.routers {
+		if !r.idle() {
+			return fmt.Errorf("noc: router %d not idle (buffered=%d injecting=%d outbox=%d arrivals=%d)",
+				r.id, r.buffered, r.injecting, r.outboxLen(), r.pendingArrivals())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Package noc implements the on-chip network: a 2D mesh of wormhole-switched
+// virtual-channel routers with credit-based flow control, X-Y routing, a
+// five-stage router pipeline (BW, RC, VA, SA, ST), and the paper's two
+// network-prioritization hooks:
+//
+//   - priority-aware VC and switch arbitration with an age-based
+//     anti-starvation rule (Section 3.3), and
+//   - pipeline bypassing, which lets high-priority header flits collapse
+//     BW/RC/VA/SA into a single setup stage (Figure 10).
+//
+// Messages carry an age field ("so-far delay") that every router increments
+// with the message's local residence time (Equation 1); no global clock is
+// required by the mechanism.
+package noc
+
+import "fmt"
+
+// Priority is a packet's network priority class.
+type Priority uint8
+
+const (
+	// Normal is the default priority.
+	Normal Priority = iota
+	// High marks packets expedited by Scheme-1 or Scheme-2: they win VC
+	// and switch arbitration (subject to anti-starvation) and may bypass
+	// the router pipeline.
+	High
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	if p == High {
+		return "high"
+	}
+	return "normal"
+}
+
+// VNet is a virtual network. Requests and responses travel on disjoint VC
+// classes so the request-response protocol cannot deadlock the network.
+type VNet uint8
+
+const (
+	// VNetRequest carries L1->L2 requests, L2->MC requests and writebacks.
+	VNetRequest VNet = iota
+	// VNetResponse carries data responses (MC->L2, L2->L1).
+	VNetResponse
+	// NumVNets is the number of virtual networks.
+	NumVNets
+)
+
+// Packet is one network message. A packet is split into NumFlits flits at
+// injection and reassembled at ejection (wormhole switching).
+type Packet struct {
+	ID       uint64
+	Src, Dst int // tile indices
+	NumFlits int
+	VNet     VNet
+	Priority Priority
+
+	// Age is the message's so-far delay in cycles. The caller seeds it
+	// with the delay accumulated before injection (e.g. a response
+	// inherits its request's age plus the memory delay); every router
+	// adds its local residence time as the message passes through.
+	Age int64
+
+	// Payload is an opaque handle owned by the endpoints.
+	Payload any
+
+	// Measurement fields, maintained by the network.
+	InjectedAt int64 // cycle the packet was offered to the source node
+	EjectedAt  int64 // cycle the tail flit left the destination router
+	Hops       int   // routers traversed
+
+	headerEjectAt int64
+	ejectedFlits  int
+}
+
+// NetLatency returns the packet's total network latency including source
+// queueing and serialization. Valid only after delivery.
+func (p *Packet) NetLatency() int64 { return p.EjectedAt - p.InjectedAt }
+
+// Validate reports structural problems in a packet about to be injected.
+func (p *Packet) Validate(nodes int) error {
+	switch {
+	case p.NumFlits < 1:
+		return fmt.Errorf("noc: packet %d has %d flits", p.ID, p.NumFlits)
+	case p.Src < 0 || p.Src >= nodes:
+		return fmt.Errorf("noc: packet %d source %d out of range", p.ID, p.Src)
+	case p.Dst < 0 || p.Dst >= nodes:
+		return fmt.Errorf("noc: packet %d destination %d out of range", p.ID, p.Dst)
+	case p.VNet >= NumVNets:
+		return fmt.Errorf("noc: packet %d on unknown vnet %d", p.ID, p.VNet)
+	case p.Age < 0:
+		return fmt.Errorf("noc: packet %d negative age %d", p.ID, p.Age)
+	}
+	return nil
+}
+
+// flit is one flow-control unit of a packet.
+type flit struct {
+	pkt  *Packet
+	seq  int // 0 = header
+	tail bool
+
+	// routerEntry is the cycle this flit entered the current router's
+	// buffer; the difference at departure is the local residence time
+	// added to the packet age (header flits) and the local component of
+	// the arbitration age.
+	routerEntry int64
+}
+
+func (f *flit) header() bool { return f.seq == 0 }

@@ -1,0 +1,593 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocmem/internal/config"
+)
+
+// Router ports. Local is the injection/ejection port of the tile.
+const (
+	PortLocal = iota
+	PortNorth
+	PortEast
+	PortSouth
+	PortWest
+	NumPorts
+)
+
+func portName(p int) string {
+	switch p {
+	case PortLocal:
+		return "local"
+	case PortNorth:
+		return "north"
+	case PortEast:
+		return "east"
+	case PortSouth:
+		return "south"
+	case PortWest:
+		return "west"
+	}
+	return "?"
+}
+
+func opposite(p int) int {
+	switch p {
+	case PortNorth:
+		return PortSouth
+	case PortSouth:
+		return PortNorth
+	case PortEast:
+		return PortWest
+	case PortWest:
+		return PortEast
+	}
+	panic(fmt.Sprintf("noc: port %s has no opposite", portName(p)))
+}
+
+// Pipeline latencies, in cycles. With the baseline 5-stage pipeline a header
+// written into a buffer at cycle t (BW) finishes RC at t+1, so its earliest
+// VA is t+2, earliest SA t+3, and it traverses the switch at t+4, reaching
+// the next router's buffer at t+5. Pipeline bypassing (and the 2-stage
+// router) collapse BW/RC/VA/SA into a single setup stage at cycle t.
+const (
+	rcDelay5  = 2 // cycles from buffer write until VA eligibility (5-stage)
+	stLink    = 2 // switch traversal + link to the next router's buffer
+	stEject   = 1 // switch traversal into the local ejection port
+	bodyDelay = 1 // buffer-write cycle for body flits (5-stage)
+)
+
+// arrival is a flit in flight on a link, due at the given cycle.
+type arrival struct {
+	f  *flit
+	vc int
+	at int64
+}
+
+// creditMsg is a credit returning upstream, usable at the given cycle.
+type creditMsg struct {
+	port int
+	vc   int
+	at   int64
+}
+
+// inVC is one input virtual channel: a flit FIFO plus the pipeline state of
+// the packet currently at its front.
+type inVC struct {
+	buf []*flit
+
+	// State of the front packet (reset when its tail departs).
+	routed       bool
+	adaptive     bool // outPort may be re-chosen until VA succeeds
+	outPort      int
+	vaDone       bool
+	outVC        int
+	vaEligibleAt int64
+	saEligibleAt int64
+}
+
+func (v *inVC) front() *flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+// outVC tracks the allocation and credit state of one downstream VC.
+type outVC struct {
+	owner   *Packet // packet holding the VC, nil when free
+	credits int
+}
+
+// injSlot is one in-progress packet injection on a local input VC.
+type injSlot struct {
+	pkt  *Packet
+	next int // next flit sequence number to place
+}
+
+// router is one mesh tile's 5-port VC router.
+type router struct {
+	id   int
+	x, y int
+	net  *Network
+
+	// div is the clock divisor: the router advances only on cycles
+	// divisible by div, stretching every pipeline stage accordingly.
+	div int64
+
+	in  [NumPorts][]inVC
+	out [NumPorts][]outVC
+
+	neighbor [NumPorts]*router // per out port; nil at mesh edges and Local
+
+	arrivals [NumPorts][]arrival
+	credits  []creditMsg
+
+	outbox [NumVNets][]*Packet
+	inj    []injSlot // per local input VC
+
+	buffered  int // flits currently resident in input buffers
+	injecting int // local VCs with an active injection
+
+	// flitsOut counts flits forwarded per output port (Local = ejections),
+	// for link-utilization reporting.
+	flitsOut [NumPorts]int64
+
+	// Per-tick scratch buffers, reused to keep the hot path allocation-free.
+	refsBuf []vcRef
+	vaBuf   [NumPorts][]vaReq
+}
+
+func (r *router) pendingArrivals() int {
+	n := 0
+	for p := range r.arrivals {
+		n += len(r.arrivals[p])
+	}
+	return n
+}
+
+func (r *router) outboxLen() int {
+	n := 0
+	for v := range r.outbox {
+		n += len(r.outbox[v])
+	}
+	return n
+}
+
+// idle reports whether the router has no work at all this cycle.
+func (r *router) idle() bool {
+	return r.buffered == 0 && r.injecting == 0 && len(r.credits) == 0 &&
+		r.outboxLen() == 0 && r.pendingArrivals() == 0
+}
+
+// vnetOf returns the VC range [lo, hi) serving the given virtual network.
+func (r *router) vnetRange(v VNet) (lo, hi int) {
+	per := r.net.cfg.VCsPerPort / int(NumVNets)
+	lo = int(v) * per
+	return lo, lo + per
+}
+
+// route computes the X-Y output port toward dst.
+func (r *router) route(dst int) int {
+	dx := r.net.xOf(dst) - r.x
+	dy := r.net.yOf(dst) - r.y
+	switch {
+	case dx > 0:
+		return PortEast
+	case dx < 0:
+		return PortWest
+	case dy > 0:
+		return PortSouth
+	case dy < 0:
+		return PortNorth
+	}
+	return PortLocal
+}
+
+// adaptiveRoute picks an output port under the west-first turn model:
+// mandatory west hops first, then the productive direction (east or
+// north/south) whose downstream VCs of the packet's class currently have the
+// most credits.
+func (r *router) adaptiveRoute(dst int, vn VNet) int {
+	dx := r.net.xOf(dst) - r.x
+	dy := r.net.yOf(dst) - r.y
+	if dx == 0 && dy == 0 {
+		return PortLocal
+	}
+	if dx < 0 {
+		return PortWest
+	}
+	var cands [2]int
+	n := 0
+	if dx > 0 {
+		cands[n] = PortEast
+		n++
+	}
+	if dy > 0 {
+		cands[n] = PortSouth
+		n++
+	} else if dy < 0 {
+		cands[n] = PortNorth
+		n++
+	}
+	if n == 1 {
+		return cands[0]
+	}
+	// Two productive choices: prefer the port with more free capacity.
+	best, bestScore := cands[0], -1
+	lo, hi := r.vnetRange(vn)
+	for i := 0; i < n; i++ {
+		p := cands[i]
+		score := 0
+		for vc := lo; vc < hi; vc++ {
+			score += r.out[p][vc].credits
+			if r.out[p][vc].owner == nil {
+				score += r.net.cfg.BufferDepth // a free VC outweighs credits
+			}
+		}
+		if score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// onNewFront initializes the pipeline state when a header flit reaches the
+// front of a VC.
+func (r *router) onNewFront(v *inVC, now int64) {
+	f := v.front()
+	if f == nil || !f.header() || v.routed {
+		return
+	}
+	v.routed = true
+	v.adaptive = r.net.cfg.Routing == config.RoutingWestFirst
+	if v.adaptive {
+		v.outPort = r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet)
+	} else {
+		v.outPort = r.route(f.pkt.Dst)
+	}
+	v.vaDone = false
+	if r.fastSetup(f.pkt) {
+		v.vaEligibleAt = now
+	} else {
+		v.vaEligibleAt = now + rcDelay5*r.div
+	}
+}
+
+// fastSetup reports whether the packet's headers may use the single-cycle
+// setup stage at this router: always under the 2-stage pipeline, and for
+// high-priority packets when pipeline bypassing is enabled.
+func (r *router) fastSetup(p *Packet) bool {
+	if r.net.cfg.Pipeline == config.Pipeline2 {
+		return true
+	}
+	return r.net.cfg.EnableBypass && p.Priority == High
+}
+
+// tick advances the router by one cycle.
+func (r *router) tick(now int64) {
+	if now%r.div != 0 || r.idle() {
+		return
+	}
+	r.processCredits(now)
+	r.acceptArrivals(now)
+	r.fillInjections(now)
+	refs := r.activeVCs()
+	r.allocateVCs(refs, now)
+	r.allocateSwitch(refs, now)
+}
+
+func (r *router) processCredits(now int64) {
+	kept := r.credits[:0]
+	for _, c := range r.credits {
+		if c.at <= now {
+			r.out[c.port][c.vc].credits++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	r.credits = kept
+}
+
+func (r *router) acceptArrivals(now int64) {
+	for p := range r.arrivals {
+		q := r.arrivals[p]
+		for len(q) > 0 && q[0].at <= now {
+			a := q[0]
+			q = q[1:]
+			v := &r.in[p][a.vc]
+			if len(v.buf) >= r.net.cfg.BufferDepth {
+				panic(fmt.Sprintf("noc: router %d port %s vc %d buffer overflow (credit protocol violated)",
+					r.id, portName(p), a.vc))
+			}
+			a.f.routerEntry = now
+			v.buf = append(v.buf, a.f)
+			r.buffered++
+			if len(v.buf) == 1 {
+				r.onNewFront(v, now)
+			}
+		}
+		r.arrivals[p] = q
+	}
+}
+
+// fillInjections moves flits from the node's outbox into free local input
+// VCs, one flit per VC per cycle. A local VC accepts the next packet as soon
+// as the previous packet's flits have all been placed (they may still be
+// draining through the buffer), exactly as a link-side VC accepts
+// back-to-back packets from its upstream router.
+func (r *router) fillInjections(now int64) {
+	for vn := VNet(0); vn < NumVNets; vn++ {
+		lo, hi := r.vnetRange(vn)
+		for vc := lo; vc < hi && len(r.outbox[vn]) > 0; vc++ {
+			if r.inj[vc].pkt != nil || len(r.in[PortLocal][vc].buf) >= r.net.cfg.BufferDepth {
+				continue
+			}
+			r.inj[vc] = injSlot{pkt: r.outbox[vn][0]}
+			r.outbox[vn] = r.outbox[vn][1:]
+			r.injecting++
+		}
+	}
+	// Advance active injections.
+	for vc := range r.inj {
+		s := &r.inj[vc]
+		if s.pkt == nil {
+			continue
+		}
+		v := &r.in[PortLocal][vc]
+		if len(v.buf) >= r.net.cfg.BufferDepth {
+			continue
+		}
+		f := &flit{pkt: s.pkt, seq: s.next, tail: s.next == s.pkt.NumFlits-1, routerEntry: now}
+		if f.header() {
+			// The wait for a free VC is part of the source router's
+			// residence time and must age the message (Equation 1).
+			s.pkt.Age += now - s.pkt.InjectedAt
+		}
+		v.buf = append(v.buf, f)
+		r.buffered++
+		if len(v.buf) == 1 {
+			r.onNewFront(v, now)
+		}
+		s.next++
+		if s.next == s.pkt.NumFlits {
+			*s = injSlot{}
+			r.injecting--
+		}
+	}
+}
+
+// vcRef addresses one input VC for arbitration.
+type vcRef struct {
+	port, vc int
+}
+
+func (r *router) vcAt(ref vcRef) *inVC { return &r.in[ref.port][ref.vc] }
+
+// activeVCs lists the input VCs holding at least one flit, reusing the
+// router's scratch buffer.
+func (r *router) activeVCs() []vcRef {
+	refs := r.refsBuf[:0]
+	for p := 0; p < NumPorts; p++ {
+		for vc := range r.in[p] {
+			if len(r.in[p][vc].buf) > 0 {
+				refs = append(refs, vcRef{p, vc})
+			}
+		}
+	}
+	r.refsBuf = refs
+	return refs
+}
+
+// vaReq is one VC-allocation request.
+type vaReq struct {
+	ref vcRef
+	c   candidate
+}
+
+// allocateVCs runs the VA stage: for each output port, at most one waiting
+// header is granted a free output VC per cycle, chosen by the prioritized
+// arbitration rule.
+func (r *router) allocateVCs(refs []vcRef, now int64) {
+	reqs := &r.vaBuf
+	for p := range reqs {
+		reqs[p] = reqs[p][:0]
+	}
+	for _, ref := range refs {
+		v := r.vcAt(ref)
+		f := v.front()
+		if !f.header() || !v.routed || v.vaDone || now < v.vaEligibleAt {
+			continue
+		}
+		if v.adaptive {
+			// Re-evaluate the adaptive choice against current credit
+			// state until VC allocation succeeds.
+			v.outPort = r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet)
+		}
+		reqs[v.outPort] = append(reqs[v.outPort], vaReq{ref, r.makeCandidate(f, now, ref.port*64+ref.vc)})
+	}
+	for p := 0; p < NumPorts; p++ {
+		if len(reqs[p]) == 0 {
+			continue
+		}
+		if p == PortLocal {
+			// Ejection needs no VC allocation: the sink always accepts.
+			for _, q := range reqs[p] {
+				r.grantVA(r.vcAt(q.ref), 0, nil, now)
+			}
+			continue
+		}
+		for len(reqs[p]) > 0 {
+			best := 0
+			for i := 1; i < len(reqs[p]); i++ {
+				if reqs[p][i].c.beats(reqs[p][best].c, r.net.arb) {
+					best = i
+				}
+			}
+			v := r.vcAt(reqs[p][best].ref)
+			if free := r.freeOutVC(p, v.front().pkt.VNet); free >= 0 {
+				r.grantVA(v, free, &r.out[p][free], now)
+			}
+			// Whether granted or out of VCs in its class, this
+			// requester is finished for the cycle; a requester of the
+			// other virtual network may still find a free VC.
+			reqs[p] = append(reqs[p][:best], reqs[p][best+1:]...)
+		}
+	}
+}
+
+func (r *router) grantVA(v *inVC, outVCIdx int, slot *outVC, now int64) {
+	v.vaDone = true
+	v.outVC = outVCIdx
+	if slot != nil {
+		slot.owner = v.front().pkt
+	}
+	if r.fastSetup(v.front().pkt) {
+		v.saEligibleAt = now // combined setup: SA may happen this cycle
+	} else {
+		v.saEligibleAt = now + r.div
+	}
+}
+
+// freeOutVC returns a free output VC index on port p within the vnet class,
+// or -1.
+func (r *router) freeOutVC(p int, vn VNet) int {
+	lo, hi := r.vnetRange(vn)
+	for vc := lo; vc < hi; vc++ {
+		if r.out[p][vc].owner == nil {
+			return vc
+		}
+	}
+	return -1
+}
+
+// allocateSwitch runs the two-phase SA stage and dispatches the winners.
+func (r *router) allocateSwitch(refs []vcRef, now int64) {
+	// Phase 1: one candidate per input port.
+	type winner struct {
+		ref vcRef
+		c   candidate
+		ok  bool
+	}
+	var phase1 [NumPorts]winner
+	for _, ref := range refs {
+		v := r.vcAt(ref)
+		f := v.front()
+		if !r.saReady(v, f, now) {
+			continue
+		}
+		c := r.makeCandidate(f, now, ref.port*64+ref.vc)
+		if w := &phase1[ref.port]; !w.ok || c.beats(w.c, r.net.arb) {
+			*w = winner{ref, c, true}
+		}
+	}
+	// Phase 2: one winner per output port.
+	var phase2 [NumPorts]winner
+	for p := 0; p < NumPorts; p++ {
+		w := phase1[p]
+		if !w.ok {
+			continue
+		}
+		op := r.vcAt(w.ref).outPort
+		if cur := &phase2[op]; !cur.ok || w.c.beats(cur.c, r.net.arb) {
+			*cur = w
+		}
+	}
+	for op := 0; op < NumPorts; op++ {
+		if phase2[op].ok {
+			r.dispatch(phase2[op].ref, now)
+		}
+	}
+}
+
+// saReady reports whether the front flit of v may compete for the switch.
+func (r *router) saReady(v *inVC, f *flit, now int64) bool {
+	if f.header() {
+		if !v.vaDone || now < v.saEligibleAt {
+			return false
+		}
+	} else {
+		if !v.vaDone {
+			return false
+		}
+		delay := int64(bodyDelay) * r.div
+		if r.net.cfg.Pipeline == config.Pipeline2 {
+			delay = 0
+		}
+		if now < f.routerEntry+delay {
+			return false
+		}
+	}
+	if v.outPort == PortLocal {
+		return true // ejection always has room
+	}
+	return r.out[v.outPort][v.outVC].credits > 0
+}
+
+// dispatch moves the front flit of the given VC across the switch.
+func (r *router) dispatch(ref vcRef, now int64) {
+	v := r.vcAt(ref)
+	f := v.buf[0]
+	v.buf = v.buf[1:]
+	r.buffered--
+	pkt := f.pkt
+
+	if f.header() {
+		// Equation 1: add the local residence time (through ST) to the
+		// message's so-far delay, in common cycles regardless of this
+		// router's own frequency.
+		pkt.Age += now + r.div - f.routerEntry
+		pkt.Hops++
+	}
+
+	r.flitsOut[v.outPort]++
+	if v.outPort == PortLocal {
+		r.eject(f, now)
+	} else {
+		nb := r.neighbor[v.outPort]
+		slot := &r.out[v.outPort][v.outVC]
+		slot.credits--
+		nb.arrivals[opposite(v.outPort)] = append(nb.arrivals[opposite(v.outPort)],
+			arrival{f: f, vc: v.outVC, at: now + r.div + 1})
+		if f.tail {
+			slot.owner = nil
+		}
+		r.net.stats.FlitHops++
+	}
+
+	// Return a credit upstream for the freed buffer slot.
+	if ref.port != PortLocal {
+		up := r.neighbor[ref.port]
+		up.credits = append(up.credits, creditMsg{port: opposite(ref.port), vc: ref.vc, at: now + 1})
+	}
+
+	if f.tail {
+		v.routed = false
+		v.vaDone = false
+		v.adaptive = false
+	}
+	if len(v.buf) > 0 {
+		r.onNewFront(v, now)
+	}
+}
+
+// eject delivers a flit to the local sink, completing the packet on its
+// tail.
+func (r *router) eject(f *flit, now int64) {
+	pkt := f.pkt
+	at := now + stEject*r.div
+	if f.header() {
+		pkt.headerEjectAt = at
+	}
+	pkt.ejectedFlits++
+	if pkt.ejectedFlits > pkt.NumFlits {
+		panic(fmt.Sprintf("noc: packet %d ejected %d of %d flits", pkt.ID, pkt.ejectedFlits, pkt.NumFlits))
+	}
+	if f.tail {
+		// Count serialization at the destination in the so-far delay.
+		pkt.Age += at - pkt.headerEjectAt
+		pkt.EjectedAt = at
+		r.net.complete(pkt, at)
+	}
+}

@@ -1,0 +1,29 @@
+package sim
+
+import "nocmem/internal/trace"
+
+// DebugWarmResidency reports the fraction of all applications' warm lines
+// currently present in the L2, for diagnosing working-set decay in tests.
+func (s *Simulator) DebugWarmResidency() float64 {
+	var present, total int
+	for i, n := range s.nodes {
+		if n.core == nil {
+			continue
+		}
+		gen, err := trace.NewGenerator(s.apps[i], i, s.cfg.L1.LineBytes, s.cfg.Run.Seed)
+		if err != nil {
+			panic(err)
+		}
+		_, warm := gen.PrewarmLines()
+		for _, line := range warm {
+			total++
+			if s.nodes[s.snuca.Bank(line)].l2.Contains(s.snuca.Local(line)) {
+				present++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(present) / float64(total)
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/trace"
+	"nocmem/internal/workload"
+)
+
+// TestMessageConservation checks that every demand transaction completes:
+// off-chip completions plus L2 hits equal the L1 primary misses, and the
+// network delivers everything it accepted.
+func TestMessageConservation(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg, fillApps(cfg, "milc", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.Net.InFlight > 200 {
+		t.Errorf("suspiciously many packets in flight at the end: %d", r.Net.InFlight)
+	}
+	var done, offchip, l2hits int64
+	for _, tile := range r.ActiveTiles() {
+		offchip += r.Collector.OffChip[tile]
+		l2hits += r.Collector.L2Hits[tile]
+	}
+	done = offchip + l2hits
+	if done == 0 {
+		t.Fatal("no transactions completed")
+	}
+	// All completed off-chip transactions came back through DRAM reads.
+	var reads int64
+	for _, d := range r.DRAM {
+		reads += d.Reads
+	}
+	if offchip > reads+int64(cfg.Mesh.Nodes()*cfg.L2.MSHRs) {
+		t.Errorf("%d off-chip completions but only %d DRAM reads", offchip, reads)
+	}
+}
+
+// TestDeterminism verifies identical configs and seeds give identical
+// results.
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig().WithSchemes(true, true)
+	run := func() []float64 {
+		s, err := New(cfg, fillApps(cfg, "mcf", 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run().IPC
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tile %d IPC %v vs %v: simulation not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSeedChangesResults verifies the seed actually perturbs the runs.
+func TestSeedChangesResults(t *testing.T) {
+	cfg := smallConfig()
+	s1, _ := New(cfg, fillApps(cfg, "mcf", 10))
+	r1 := s1.Run()
+	cfg.Run.Seed = 99
+	s2, _ := New(cfg, fillApps(cfg, "mcf", 10))
+	r2 := s2.Run()
+	same := true
+	for i := range r1.IPC {
+		if r1.IPC[i] != r2.IPC[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical IPCs")
+	}
+}
+
+// TestAloneMPKIMatchesProfile runs applications alone and checks the
+// measured off-chip MPKI lands near the profile target.
+func TestAloneMPKIMatchesProfile(t *testing.T) {
+	cfg := config.Baseline32()
+	cfg.Run.WarmupCycles = 30_000
+	cfg.Run.MeasureCycles = 150_000
+	for _, name := range []string{"mcf", "libquantum", "sphinx3"} {
+		p := trace.MustLookup(name)
+		apps := make([]trace.Profile, cfg.Mesh.Nodes())
+		apps[0] = p
+		s, err := New(cfg, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.Run()
+		got := r.MPKI(0)
+		if math.Abs(got-p.MPKI) > 0.35*p.MPKI+1 {
+			t.Errorf("%s alone MPKI %.1f, want ~%.1f", name, got, p.MPKI)
+		}
+	}
+}
+
+// TestSharedSlowerThanImplicitAlone sanity-checks contention: per-app IPC in
+// a full system is below the compute width and above zero.
+func TestSharedIPCRange(t *testing.T) {
+	cfg := smallConfig()
+	w, err := workload.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := w.Halve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := half.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	for _, tile := range r.ActiveTiles() {
+		if r.IPC[tile] <= 0 || r.IPC[tile] > float64(cfg.CPU.Width) {
+			t.Errorf("tile %d IPC %.3f out of (0, %d]", tile, r.IPC[tile], cfg.CPU.Width)
+		}
+	}
+}
+
+// TestScheme1AcceleratesTaggedReturns verifies the core claim of Scheme-1 at
+// the mechanism level: tagged (late) responses traverse the return path
+// faster than untagged ones despite being sent during congested episodes.
+func TestScheme1AcceleratesTaggedReturns(t *testing.T) {
+	cfg := config.Baseline32().WithSchemes(true, false)
+	cfg.Run.WarmupCycles = 50_000
+	cfg.Run.MeasureCycles = 200_000
+	cfg.S1.UpdatePeriod = 10_000
+	w, err := workload.Get(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := w.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.S1Tagged == 0 {
+		t.Fatal("scheme-1 tagged nothing")
+	}
+	high, norm := r.Collector.RetHigh, r.Collector.RetNormal
+	if high.N() == 0 || norm.N() == 0 {
+		t.Fatal("missing return-path samples")
+	}
+	if high.Mean() >= norm.Mean()*1.02 {
+		t.Errorf("tagged return path %.1f not faster than normal %.1f", high.Mean(), norm.Mean())
+	}
+}
+
+// TestScheme2ReducesBankIdleness reproduces the claim behind Figure 13 at
+// test scale: with Scheme-2 on, average bank idleness must not increase.
+func TestScheme2ReducesBankIdleness(t *testing.T) {
+	base := config.Baseline32()
+	base.Run.WarmupCycles = 50_000
+	base.Run.MeasureCycles = 200_000
+	w, err := workload.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := w.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgIdle := func(cfg config.Config) float64 {
+		s, err := New(cfg, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.Run()
+		var sum float64
+		var n int
+		for _, banks := range r.BankIdleness {
+			for _, v := range banks {
+				sum += v
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	idleBase := avgIdle(base)
+	idleS2 := avgIdle(base.WithSchemes(false, true))
+	if idleBase <= 0 || idleBase >= 1 {
+		t.Fatalf("base idleness %.2f implausible", idleBase)
+	}
+	if idleS2 > idleBase+0.02 {
+		t.Errorf("scheme-2 idleness %.3f above base %.3f", idleS2, idleBase)
+	}
+}
+
+// TestSoFarBelowRoundTrip checks the Figure 9 relationship: the so-far delay
+// observed right after the MC is below the final round-trip delay, and both
+// distributions have the expected ordering of means.
+func TestSoFarBelowRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg, fillApps(cfg, "lbm", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	for _, tile := range r.ActiveTiles() {
+		sf, rt := r.Collector.SoFar[tile], r.Collector.RoundTrip[tile]
+		if sf.Count() == 0 {
+			continue
+		}
+		if sf.Mean() >= rt.Mean() {
+			t.Errorf("tile %d: so-far mean %.1f >= round-trip mean %.1f", tile, sf.Mean(), rt.Mean())
+		}
+	}
+}
+
+// TestIdleTilesStayIdle ensures tiles without applications never retire
+// instructions yet still serve their L2 banks.
+func TestIdleTilesStayIdle(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg, fillApps(cfg, "milc", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	for i := 4; i < cfg.Mesh.Nodes(); i++ {
+		if r.IPC[i] != 0 || r.CoreStats[i].Retired != 0 {
+			t.Errorf("idle tile %d retired instructions", i)
+		}
+	}
+	// The S-NUCA spreads lines over all banks, so idle tiles see traffic.
+	busy := 0
+	for i := 4; i < cfg.Mesh.Nodes(); i++ {
+		if r.L2[i].Hits+r.L2[i].Misses > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Error("no idle tile served L2 traffic; S-NUCA broken")
+	}
+}
+
+// TestTwoStageRouterFasterBase verifies the Figure 17 substrate: the 2-stage
+// router lowers baseline network latency.
+func TestTwoStageRouterFasterBase(t *testing.T) {
+	run := func(p config.RouterPipeline) float64 {
+		cfg := smallConfig()
+		cfg.NoC.Pipeline = p
+		s, err := New(cfg, fillApps(cfg, "milc", 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run().Net.AvgLatency()
+	}
+	l5, l2 := run(config.Pipeline5), run(config.Pipeline2)
+	if l2 >= l5 {
+		t.Errorf("2-stage avg network latency %.1f not below 5-stage %.1f", l2, l5)
+	}
+}
+
+// TestMeasurementWindowIsolation verifies warmup activity does not leak into
+// measured counters.
+func TestMeasurementWindowIsolation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Run.MeasureCycles = 1_000 // tiny window
+	s, err := New(cfg, fillApps(cfg, "milc", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	for _, tile := range r.ActiveTiles() {
+		if r.CoreStats[tile].Cycles != 1_000 {
+			t.Fatalf("tile %d measured %d cycles, want 1000", tile, r.CoreStats[tile].Cycles)
+		}
+		if r.CoreStats[tile].Retired > 4_000 {
+			t.Fatalf("tile %d retired %d instructions in 1000 cycles", tile, r.CoreStats[tile].Retired)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"nocmem/internal/dram"
+	"nocmem/internal/noc"
+)
+
+// mcPayload rides on a dram.Request through the controller.
+type mcPayload struct {
+	txn     *Txn
+	age     int64 // so-far delay at controller arrival
+	arrival int64
+	respDst int // L2 bank tile awaiting the data
+}
+
+// mcNode hosts one memory controller on a corner tile.
+type mcNode struct {
+	tile int
+	s    *Simulator
+	ctl  *dram.Controller
+}
+
+func newMCNode(tile, ctlIdx int, s *Simulator) *mcNode {
+	m := &mcNode{tile: tile, s: s}
+	m.ctl = dram.NewController(s.cfg.DRAM, ctlIdx, m.complete)
+	return m
+}
+
+// accept turns a delivered packet into a DRAM request.
+func (m *mcNode) accept(it inItem, now int64) {
+	p := it.pkt
+	msg := p.Payload.(*message)
+	r := &dram.Request{
+		Addr:    msg.line,
+		IsWrite: msg.kind == msgWBL2toMC,
+		Bank:    m.s.amap.Bank(msg.line),
+		Row:     m.s.amap.Row(msg.line),
+		Payload: &mcPayload{txn: msg.txn, age: p.Age, arrival: it.at, respDst: p.Src},
+	}
+	if msg.txn != nil {
+		r.Sensitive = m.s.pol.BasePriority(msg.txn.Core) == noc.High
+	}
+	if msg.txn != nil {
+		msg.txn.ReqAtMC = it.at
+	}
+	if err := m.ctl.Enqueue(r, now); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+}
+
+// complete is the controller's completion callback: reads become response
+// packets; the so-far delay is extended with the whole memory holding time
+// and Scheme-1 classifies the message right here, "right after the memory
+// controller" (Section 3.1).
+func (m *mcNode) complete(r *dram.Request, now int64) {
+	if r.IsWrite {
+		return
+	}
+	p := r.Payload.(*mcPayload)
+	t := p.txn
+	age := p.age + (now - p.arrival)
+	t.MemDone = now
+	t.SoFarAtMC = age
+	m.s.col.soFar(t.Core, age)
+	pri := m.s.pol.ResponsePriority(t.Core, age) // Scheme-1 hook
+	t.RespPriority = pri
+	m.s.inject(&noc.Packet{
+		Src: m.tile, Dst: p.respDst, NumFlits: m.s.cfg.ResponseFlits(),
+		VNet: noc.VNetResponse, Priority: pri,
+		Age:     age,
+		Payload: &message{kind: msgRespMCtoL2, txn: t, line: t.Line},
+	}, now)
+}

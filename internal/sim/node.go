@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"fmt"
+
+	"nocmem/internal/cache"
+	"nocmem/internal/cpu"
+	"nocmem/internal/noc"
+)
+
+// inItem is a packet delivered to a tile, available from cycle at.
+type inItem struct {
+	pkt *noc.Packet
+	at  int64
+}
+
+// action is a node-local scheduled callback.
+type action struct {
+	at int64
+	fn func(now int64)
+}
+
+// l2Job is a request occupying the L2 bank pipeline, finishing at done.
+type l2Job struct {
+	it   inItem
+	done int64
+}
+
+// node is one mesh tile: core + private L1 + one bank of the shared L2.
+type node struct {
+	id int
+	s  *Simulator
+
+	core *cpu.Core // nil on tiles without an application
+	l1   *cache.Cache
+	l1m  *cache.MSHRTable
+
+	l2  *cache.Cache
+	l2m *cache.MSHRTable
+
+	// dir is the bank's slice of the sparse directory embedded in the
+	// inclusive L2: global line address -> bitmask of tiles whose L1 may
+	// hold the line. Clean L1 evictions are silent, so the mask
+	// over-approximates (standard for sparse directories).
+	dir map[uint64]uint64
+
+	inbox   []inItem // delivered packets not yet dispatched
+	l2Queue []inItem // requests waiting for the L2 bank port
+	l2Busy  []l2Job  // requests inside the L2 pipeline
+	delayed []action // L1-side scheduled work (hit completion, miss injection)
+}
+
+func newNode(id int, s *Simulator) *node {
+	cfg := s.cfg
+	n := &node{
+		id:  id,
+		s:   s,
+		l1:  cache.New(cfg.L1.SizeBytes, cfg.L1.LineBytes, cfg.L1.Ways),
+		l1m: cache.NewMSHRTable(cfg.L1.MSHRs),
+		l2:  cache.New(cfg.L2.SizeBytes, cfg.L2.LineBytes, cfg.L2.Ways),
+		l2m: cache.NewMSHRTable(cfg.L2.MSHRs),
+	}
+	n.l1.SetLIPInsertion(cfg.L1.LIPInsertion)
+	n.l2.SetLIPInsertion(cfg.L2.LIPInsertion)
+	n.dir = make(map[uint64]uint64)
+	return n
+}
+
+// dirAdd records that the given tile's L1 received a copy of the line.
+func (n *node) dirAdd(line uint64, tile int) {
+	n.dir[line] |= 1 << uint(tile)
+}
+
+// backInvalidate enforces inclusion: when the L2 evicts a line, every L1
+// that may hold a copy receives a 1-flit invalidation.
+func (n *node) backInvalidate(line uint64, now int64) {
+	mask, ok := n.dir[line]
+	if !ok {
+		return
+	}
+	delete(n.dir, line)
+	for tile := 0; mask != 0; tile++ {
+		if mask&1 != 0 {
+			n.s.inject(&noc.Packet{
+				Src: n.id, Dst: tile, NumFlits: n.s.cfg.RequestFlits(),
+				VNet: noc.VNetRequest, Priority: noc.Normal,
+				Payload: &message{kind: msgInvL2toL1, line: line},
+			}, now)
+			n.s.col.Invalidations++
+		}
+		mask >>= 1
+	}
+}
+
+// deliver is the tile's network sink.
+func (n *node) deliver(p *noc.Packet, at int64) {
+	n.inbox = append(n.inbox, inItem{pkt: p, at: at})
+}
+
+// dispatchInbox routes delivered packets to the L2 bank, the memory
+// controller, or the L1 fill path.
+func (n *node) dispatchInbox(now int64) {
+	for len(n.inbox) > 0 && n.inbox[0].at <= now {
+		it := n.inbox[0]
+		n.inbox = n.inbox[1:]
+		m := it.pkt.Payload.(*message)
+		switch m.kind {
+		case msgReqL1toL2, msgWBL1toL2, msgRespMCtoL2:
+			if m.txn != nil && m.kind == msgReqL1toL2 {
+				m.txn.ReqAtL2 = it.at
+				m.txn.AgeAtL2 = it.pkt.Age
+			}
+			n.l2Queue = append(n.l2Queue, it)
+		case msgReqL2toMC, msgWBL2toMC:
+			mc, ok := n.s.mcAt[n.id]
+			if !ok {
+				panic(fmt.Sprintf("sim: tile %d received %v but hosts no memory controller", n.id, m.kind))
+			}
+			mc.accept(it, now)
+		case msgRespL2toL1:
+			n.fillL1(it, now)
+		case msgInvL2toL1:
+			// Inclusive-L2 back-invalidation: drop the L1 copy; a
+			// dirty copy goes straight to memory (its L2 home is gone).
+			if n.l1.Invalidate(m.line) {
+				n.s.inject(&noc.Packet{
+					Src: n.id, Dst: n.s.mcTileOf(m.line), NumFlits: n.s.cfg.ResponseFlits(),
+					VNet: noc.VNetRequest, Priority: noc.Normal,
+					Payload: &message{kind: msgWBL2toMC, line: m.line},
+				}, now)
+			}
+		default:
+			panic(fmt.Sprintf("sim: tile %d cannot handle message kind %v", n.id, m.kind))
+		}
+	}
+}
+
+// tickL2 advances the bank pipeline: finish due jobs, then accept one new
+// request per cycle.
+func (n *node) tickL2(now int64) {
+	// Finish jobs in completion order (the pipeline preserves it).
+	for len(n.l2Busy) > 0 && n.l2Busy[0].done <= now {
+		job := n.l2Busy[0]
+		n.l2Busy = n.l2Busy[1:]
+		n.finishL2(job.it, now)
+	}
+	if len(n.l2Queue) > 0 && n.l2Queue[0].at <= now {
+		it := n.l2Queue[0]
+		n.l2Queue = n.l2Queue[1:]
+		n.l2Busy = append(n.l2Busy, l2Job{it: it, done: now + n.s.cfg.L2.Latency})
+	}
+}
+
+// finishL2 applies one request after its bank access latency elapsed.
+func (n *node) finishL2(it inItem, now int64) {
+	m := it.pkt.Payload.(*message)
+	switch m.kind {
+	case msgReqL1toL2:
+		t := m.txn
+		if n.l2.Access(n.s.snuca.Local(m.line), false) {
+			n.dirAdd(m.line, t.Core)
+			n.respondToCore(t, t.AgeAtL2+(now-t.ReqAtL2), n.s.pol.BasePriority(t.Core), now)
+			return
+		}
+		n.missToMemory(it, now)
+
+	case msgWBL1toL2:
+		if !n.l2.WritebackHit(n.s.snuca.Local(m.line)) {
+			// The line raced an L2 eviction (its back-invalidation is
+			// in flight toward us): forward the data to memory.
+			n.s.inject(&noc.Packet{
+				Src: n.id, Dst: n.s.mcTileOf(m.line), NumFlits: n.s.cfg.ResponseFlits(),
+				VNet: noc.VNetRequest, Priority: noc.Normal,
+				Payload: &message{kind: msgWBL2toMC, line: m.line},
+			}, now)
+		}
+
+	case msgRespMCtoL2:
+		t := m.txn
+		if v, evicted := n.l2.Fill(n.s.snuca.Local(m.line), false); evicted {
+			victim := n.s.snuca.Global(v.Addr, n.id)
+			n.backInvalidate(victim, now)
+			if v.Dirty {
+				n.s.inject(&noc.Packet{
+					Src: n.id, Dst: n.s.mcTileOf(victim), NumFlits: n.s.cfg.ResponseFlits(),
+					VNet: noc.VNetRequest, Priority: noc.Normal,
+					Payload: &message{kind: msgWBL2toMC, line: victim},
+				}, now)
+			}
+		}
+		mshr, ok := n.l2m.Complete(m.line)
+		if !ok {
+			panic(fmt.Sprintf("sim: L2 bank %d fill for line %#x without an MSHR", n.id, m.line))
+		}
+		for _, w := range mshr.Waiters {
+			wt := w.(*Txn)
+			n.dirAdd(m.line, wt.Core)
+			wt.RespAtL2 = it.at
+			wt.MemDone = t.MemDone
+			wt.SoFarAtMC = t.SoFarAtMC
+			wt.OffChip = true
+			wt.RespPriority = it.pkt.Priority
+			// The response keeps its priority on the L2->L1 leg
+			// (Figure 8: both return paths are expedited).
+			n.respondToCore(wt, it.pkt.Age+(now-it.at), it.pkt.Priority, now)
+		}
+
+	default:
+		panic(fmt.Sprintf("sim: L2 bank %d cannot finish %v", n.id, m.kind))
+	}
+}
+
+// missToMemory turns an L2 demand miss into an off-chip request, retrying
+// next cycle when the bank's MSHRs are exhausted.
+func (n *node) missToMemory(it inItem, now int64) {
+	m := it.pkt.Payload.(*message)
+	t := m.txn
+	primary, ok := n.l2m.Allocate(m.line, t.Store, t)
+	if !ok {
+		n.l2Busy = append(n.l2Busy, l2Job{it: it, done: now + 1})
+		return
+	}
+	if !primary {
+		return // coalesced onto an in-flight fetch
+	}
+	bank := n.s.amap.GlobalBank(m.line)
+	pri := n.s.pol.RequestPriority(n.id, bank, t.Core, now) // Scheme-2 + app-aware hook
+	n.s.inject(&noc.Packet{
+		Src: n.id, Dst: n.s.mcTileOf(m.line), NumFlits: n.s.cfg.RequestFlits(),
+		VNet: noc.VNetRequest, Priority: pri,
+		Age:     t.AgeAtL2 + (now - t.ReqAtL2),
+		Payload: &message{kind: msgReqL2toMC, txn: t, line: m.line},
+	}, now)
+}
+
+// respondToCore sends the data response for one transaction back to its
+// requesting tile.
+func (n *node) respondToCore(t *Txn, age int64, pri noc.Priority, now int64) {
+	n.s.inject(&noc.Packet{
+		Src: n.id, Dst: t.Core, NumFlits: n.s.cfg.ResponseFlits(),
+		VNet: noc.VNetResponse, Priority: pri,
+		Age:     age,
+		Payload: &message{kind: msgRespL2toL1, txn: t, line: t.Line},
+	}, now)
+}
+
+// fillL1 completes a demand transaction at the requesting tile.
+func (n *node) fillL1(it inItem, now int64) {
+	m := it.pkt.Payload.(*message)
+	t := m.txn
+	mshr, ok := n.l1m.Complete(m.line)
+	if !ok {
+		panic(fmt.Sprintf("sim: tile %d L1 fill for line %#x without an MSHR", n.id, m.line))
+	}
+	if v, evicted := n.l1.Fill(m.line, mshr.Dirty); evicted && v.Dirty {
+		n.s.inject(&noc.Packet{
+			Src: n.id, Dst: n.s.snuca.Bank(v.Addr), NumFlits: n.s.cfg.ResponseFlits(),
+			VNet: noc.VNetRequest, Priority: noc.Normal,
+			Payload: &message{kind: msgWBL1toL2, line: v.Addr},
+		}, now)
+	}
+	for _, w := range mshr.Waiters {
+		w.(func(int64))(now)
+	}
+	t.Done = now
+	n.s.col.done(t)
+	if t.OffChip {
+		n.s.pol.RoundTripDone(t.Core, t.Total()) // Scheme-1 feedback
+	}
+}
+
+// issue is the core's path into the memory hierarchy (cpu.IssueFunc).
+//
+// Stores complete against the store buffer after the L1 latency and never
+// block the instruction window; the line fetch they trigger on a miss still
+// runs to completion (write-allocate) and marks the line dirty.
+func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
+	now := n.s.now
+	line := n.l1.LineAddr(addr)
+	waiter := complete
+	if isWrite {
+		waiter = func(int64) {} // the fill needs no core notification
+	}
+	done := func() { // store-buffer / L1-hit completion
+		n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, fn: complete})
+	}
+	if n.l1m.Pending(line) {
+		// Must coalesce (the line is already being fetched); the lookup
+		// below would otherwise miss-count it.
+		_, _ = n.l1m.Allocate(line, isWrite, waiter)
+		if isWrite {
+			done()
+		}
+		return true
+	}
+	if n.l1.Access(addr, isWrite) {
+		done()
+		return true
+	}
+	primary, ok := n.l1m.Allocate(line, isWrite, waiter)
+	if !ok {
+		return false // MSHRs exhausted; core stalls
+	}
+	if isWrite {
+		done()
+	}
+	if !primary {
+		panic("sim: primary L1 miss raced a pending entry")
+	}
+	n.s.txnSeq++
+	t := &Txn{ID: n.s.txnSeq, Core: n.id, Line: line, Store: isWrite, Birth: now}
+	// The request leaves for the L2 bank after the L1 lookup latency.
+	n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, fn: func(at int64) {
+		n.s.inject(&noc.Packet{
+			Src: n.id, Dst: n.s.snuca.Bank(line), NumFlits: n.s.cfg.RequestFlits(),
+			VNet: noc.VNetRequest, Priority: n.s.pol.BasePriority(n.id),
+			Payload: &message{kind: msgReqL1toL2, txn: t, line: line},
+		}, at)
+	}})
+	return true
+}
+
+// tickCore runs delayed L1 work and the core itself.
+func (n *node) tickCore(now int64) {
+	if len(n.delayed) > 0 {
+		kept := n.delayed[:0]
+		for _, a := range n.delayed {
+			if a.at <= now {
+				a.fn(now)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		n.delayed = kept
+	}
+	if n.core != nil {
+		n.core.Tick(now)
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/workload"
+)
+
+// BenchmarkFullSystem32 measures the simulator's own speed on the paper's
+// baseline 32-core system under workload-7 (memory intensive, worst case for
+// the router hot path). b.N counts simulated cycles.
+func BenchmarkFullSystem32(b *testing.B) {
+	cfg := config.Baseline32()
+	w, err := workload.Get(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps, err := w.Profiles()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(cfg, apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Step(20_000) // warm the system into steady state
+	b.ResetTimer()
+	s.Step(int64(b.N))
+}

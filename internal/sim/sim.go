@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"fmt"
+
+	"nocmem/internal/cache"
+	"nocmem/internal/config"
+	"nocmem/internal/core"
+	"nocmem/internal/cpu"
+	"nocmem/internal/dram"
+	"nocmem/internal/noc"
+	"nocmem/internal/stats"
+	"nocmem/internal/trace"
+)
+
+// Simulator is one fully-wired instance of the target system.
+type Simulator struct {
+	cfg  config.Config
+	apps []trace.Profile
+
+	net   *noc.Network
+	pol   *core.Policy
+	nodes []*node
+	mcs   []*mcNode
+	mcAt  map[int]*mcNode
+
+	amap  dram.AddrMap
+	snuca cache.SNUCA
+
+	now    int64
+	txnSeq uint64
+	col    *Collector
+
+	idleSeries []*stats.Series
+}
+
+// New builds a simulator running the built-in synthetic applications. apps
+// assigns one application per tile in order; a zero-value profile (empty
+// name) leaves the tile's core idle, which is how alone runs are expressed.
+func New(cfg config.Config, apps []trace.Profile) (*Simulator, error) {
+	if len(apps) != cfg.Mesh.Nodes() {
+		return nil, fmt.Errorf("sim: %d applications for %d tiles", len(apps), cfg.Mesh.Nodes())
+	}
+	srcs := make([]trace.AppSource, len(apps))
+	for i, a := range apps {
+		if a.Name == "" {
+			continue
+		}
+		gen, err := trace.NewGenerator(a, i, cfg.L1.LineBytes, cfg.Run.Seed)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = gen
+	}
+	return NewFromSources(cfg, srcs, apps)
+}
+
+// NewFromSources builds a simulator over explicit instruction sources (e.g.
+// recorded trace files); nil sources leave tiles idle. apps carries the
+// per-tile metadata (name for reporting, MPKI for the application-aware
+// baseline) and may hold zero values when unknown.
+func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Profile) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := cfg.Mesh.Nodes()
+	if nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("sim: S-NUCA needs a power-of-two tile count, got %d", nodes)
+	}
+	if nodes > 64 {
+		return nil, fmt.Errorf("sim: %d tiles exceed the 64-tile directory bitmask", nodes)
+	}
+	if len(srcs) != nodes || len(apps) != nodes {
+		return nil, fmt.Errorf("sim: %d sources / %d app entries for %d tiles", len(srcs), len(apps), nodes)
+	}
+	for i, src := range srcs {
+		if (src == nil) != (apps[i].Name == "") {
+			return nil, fmt.Errorf("sim: tile %d source/metadata mismatch", i)
+		}
+	}
+	net, err := noc.New(cfg.Mesh, cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	amap, err := dram.NewAddrMap(cfg.L2.LineBytes, cfg.DRAM.Controllers, cfg.DRAM.BanksPerCtl,
+		cfg.DRAM.RowBytes, cfg.DRAM.BankInterleaveLines)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:   cfg,
+		apps:  apps,
+		net:   net,
+		pol:   core.NewPolicy(cfg),
+		amap:  amap,
+		snuca: cache.NewSNUCA(nodes, cfg.L2.LineBytes),
+		mcAt:  make(map[int]*mcNode),
+		col:   newCollector(nodes),
+	}
+	s.nodes = make([]*node, nodes)
+	for i := range s.nodes {
+		n := newNode(i, s)
+		s.nodes[i] = n
+		net.SetSink(i, n.deliver)
+		if srcs[i] != nil {
+			n.core = cpu.New(i, cfg.CPU, srcs[i], n.issue)
+		}
+	}
+	for i, src := range srcs {
+		if src != nil {
+			s.prewarm(src, s.nodes[i])
+		}
+	}
+	if cfg.AppAwareNet || cfg.DRAM.Sched == config.AppAwareMem {
+		mpki := make([]float64, nodes)
+		active := make([]bool, nodes)
+		for i, a := range apps {
+			mpki[i] = a.MPKI
+			active[i] = a.Name != ""
+		}
+		s.pol.App = core.NewAppAware(mpki, active)
+	}
+	for ctlIdx, tile := range cfg.MCNodes() {
+		mc := newMCNode(tile, ctlIdx, s)
+		series := stats.NewSeries(10_000)
+		mc.ctl.SetIdleSeries(func(cycle int64, avg float64) { series.Add(cycle, avg) })
+		s.idleSeries = append(s.idleSeries, series)
+		s.mcs = append(s.mcs, mc)
+		s.mcAt[tile] = mc
+	}
+	return s, nil
+}
+
+// prewarm functionally installs an application's resident working sets:
+// hot lines into its L1 and home L2 banks, warm lines into the L2. This is
+// the usual fast functional warming that precedes detailed simulation; the
+// timed warmup then only has to settle queues and schedulers, not stream
+// megabytes through a crawling cold-start system.
+func (s *Simulator) prewarm(src trace.AppSource, n *node) {
+	hot, warm := src.PrewarmLines()
+	for _, line := range warm {
+		bank := s.nodes[s.snuca.Bank(line)].l2
+		bank.Fill(s.snuca.Local(line), false)
+		bank.Access(s.snuca.Local(line), false) // promote past the LIP insertion point
+	}
+	for _, line := range hot {
+		home := s.nodes[s.snuca.Bank(line)]
+		home.l2.Fill(s.snuca.Local(line), false)
+		home.l2.Access(s.snuca.Local(line), false)
+		home.dirAdd(line, n.id)
+		n.l1.Fill(line, false)
+	}
+	n.l1.ResetStats()
+	for _, nd := range s.nodes {
+		nd.l2.ResetStats()
+	}
+}
+
+// Now returns the current cycle.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Config returns the configuration the simulator was built with.
+func (s *Simulator) Config() config.Config { return s.cfg }
+
+// inject offers a packet to the network at the given cycle.
+func (s *Simulator) inject(p *noc.Packet, now int64) {
+	if err := s.net.Inject(p, now); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+}
+
+// mcTileOf returns the tile hosting the memory controller owning addr.
+func (s *Simulator) mcTileOf(addr uint64) int {
+	return s.cfg.MCNodes()[s.amap.Controller(addr)]
+}
+
+// Step advances the whole system by the given number of cycles.
+func (s *Simulator) Step(cycles int64) {
+	for c := int64(0); c < cycles; c++ {
+		now := s.now
+		s.pol.Tick(now)
+		for _, mc := range s.mcs {
+			mc.ctl.Tick(now)
+		}
+		for _, n := range s.nodes {
+			n.dispatchInbox(now)
+			n.tickL2(now)
+		}
+		s.net.Tick(now)
+		for _, n := range s.nodes {
+			n.tickCore(now)
+		}
+		s.now++
+	}
+}
+
+// resetStats clears every counter at the warmup/measurement boundary while
+// preserving learned state (cache contents, scheme thresholds, open rows).
+func (s *Simulator) resetStats() {
+	s.col = newCollector(len(s.nodes))
+	s.col.measuring = true
+	s.net.ResetStats()
+	for _, n := range s.nodes {
+		n.l1.ResetStats()
+		n.l2.ResetStats()
+		if n.core != nil {
+			n.core.ResetStats()
+		}
+	}
+	for i, mc := range s.mcs {
+		mc.ctl.ResetStats()
+		series := stats.NewSeries(10_000)
+		s.idleSeries[i] = series
+		mc.ctl.SetIdleSeries(func(cycle int64, avg float64) { series.Add(cycle, avg) })
+	}
+	if s.pol.S1 != nil {
+		s.pol.S1.Tagged, s.pol.S1.Checked = 0, 0
+	}
+	if s.pol.S2 != nil {
+		s.pol.S2.Tagged, s.pol.S2.Checked = 0, 0
+	}
+}
+
+// Run executes the configured warmup and measurement window and returns the
+// results.
+func (s *Simulator) Run() *Result {
+	s.Step(s.cfg.Run.WarmupCycles)
+	s.resetStats()
+	s.Step(s.cfg.Run.MeasureCycles)
+	return s.results()
+}
+
+// Result is everything measured in one simulation window.
+type Result struct {
+	Cfg    config.Config
+	Apps   []trace.Profile
+	Cycles int64
+
+	IPC       []float64 // per tile; 0 on idle tiles
+	CoreStats []cpu.Stats
+	L1        []cache.Stats
+	L2        []cache.Stats
+
+	Collector *Collector
+
+	BankIdleness [][]float64     // [controller][bank]
+	IdleSeries   []*stats.Series // [controller]
+	DRAM         []dram.Stats
+	Net          noc.Stats
+
+	S1Tagged, S1Checked int64
+	S2Tagged, S2Checked int64
+	S1Thresholds        []int64
+}
+
+func (s *Simulator) results() *Result {
+	r := &Result{
+		Cfg:        s.cfg,
+		Apps:       s.apps,
+		Cycles:     s.cfg.Run.MeasureCycles,
+		IPC:        make([]float64, len(s.nodes)),
+		CoreStats:  make([]cpu.Stats, len(s.nodes)),
+		L1:         make([]cache.Stats, len(s.nodes)),
+		L2:         make([]cache.Stats, len(s.nodes)),
+		Collector:  s.col,
+		IdleSeries: s.idleSeries,
+		Net:        s.net.Stats(),
+	}
+	for i, n := range s.nodes {
+		r.L1[i] = n.l1.Stats()
+		r.L2[i] = n.l2.Stats()
+		if n.core != nil {
+			r.CoreStats[i] = n.core.Stats()
+			r.IPC[i] = r.CoreStats[i].IPC()
+		}
+	}
+	for _, mc := range s.mcs {
+		r.BankIdleness = append(r.BankIdleness, mc.ctl.Idleness())
+		r.DRAM = append(r.DRAM, mc.ctl.Stats())
+	}
+	if s.pol.S1 != nil {
+		r.S1Tagged, r.S1Checked = s.pol.S1.Tagged, s.pol.S1.Checked
+		for i := range s.nodes {
+			r.S1Thresholds = append(r.S1Thresholds, s.pol.S1.Threshold(i))
+		}
+	}
+	if s.pol.S2 != nil {
+		r.S2Tagged, r.S2Checked = s.pol.S2.Tagged, s.pol.S2.Checked
+	}
+	return r
+}
+
+// MPKI returns the measured off-chip misses per kilo-instruction of a tile.
+func (r *Result) MPKI(tile int) float64 {
+	retired := r.CoreStats[tile].Retired
+	if retired == 0 {
+		return 0
+	}
+	return float64(r.Collector.OffChip[tile]) * 1000 / float64(retired)
+}
+
+// ActiveTiles returns the tiles running an application.
+func (r *Result) ActiveTiles() []int {
+	var out []int
+	for i, a := range r.Apps {
+		if a.Name != "" {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/trace"
+)
+
+// smallConfig returns a quick 4x4 system for tests.
+func smallConfig() config.Config {
+	cfg := config.Baseline16()
+	cfg.Run.WarmupCycles = 5_000
+	cfg.Run.MeasureCycles = 20_000
+	return cfg
+}
+
+// fillApps assigns the same profile to the first n tiles.
+func fillApps(cfg config.Config, name string, n int) []trace.Profile {
+	apps := make([]trace.Profile, cfg.Mesh.Nodes())
+	p := trace.MustLookup(name)
+	for i := 0; i < n && i < len(apps); i++ {
+		apps[i] = p
+	}
+	return apps
+}
+
+func TestSmokeRunBaseline(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg, fillApps(cfg, "milc", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	for _, tile := range r.ActiveTiles() {
+		if r.IPC[tile] <= 0 {
+			t.Errorf("tile %d IPC = %v, want > 0", tile, r.IPC[tile])
+		}
+		if r.Collector.OffChip[tile] == 0 {
+			t.Errorf("tile %d completed no off-chip accesses", tile)
+		}
+	}
+	if r.Net.Delivered == 0 {
+		t.Fatal("network delivered no packets")
+	}
+}
+
+func TestSmokeRunWithSchemes(t *testing.T) {
+	cfg := smallConfig().WithSchemes(true, true)
+	cfg.S1.UpdatePeriod = 2_000
+	s, err := New(cfg, fillApps(cfg, "mcf", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.S1Checked == 0 {
+		t.Error("scheme-1 classified no responses")
+	}
+	if r.S2Checked == 0 {
+		t.Error("scheme-2 classified no requests")
+	}
+	if r.S1Tagged == 0 {
+		t.Error("scheme-1 tagged no responses as late")
+	}
+	if r.S1Tagged >= r.S1Checked {
+		t.Errorf("scheme-1 tagged everything (%d/%d); threshold is not selective", r.S1Tagged, r.S1Checked)
+	}
+}
+
+// TestLegsTelescope verifies that per-leg delays sum to the end-to-end
+// latency for every off-chip access.
+func TestLegsTelescope(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg, fillApps(cfg, "lbm", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intercept completions via the collector's breakdown: the breakdown
+	// groups by the sum of legs, while the round-trip histogram uses
+	// Done-Birth; equality of their totals is the telescoping property.
+	r := s.Run()
+	for _, tile := range r.ActiveTiles() {
+		bd := r.Collector.Breakdown[tile]
+		ht := r.Collector.RoundTrip[tile]
+		if bd.Count() != ht.Count() {
+			t.Fatalf("tile %d: breakdown has %d accesses, histogram %d", tile, bd.Count(), ht.Count())
+		}
+		var bdMean float64
+		for _, avg := range bd.OverallAvg() {
+			bdMean += avg
+		}
+		if diff := bdMean - ht.Mean(); diff > 1 || diff < -1 {
+			t.Errorf("tile %d: mean of leg sums %.1f != mean round trip %.1f", tile, bdMean, ht.Mean())
+		}
+	}
+}

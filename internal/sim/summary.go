@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// AppSummary condenses one application's measurements.
+type AppSummary struct {
+	Tile string  `json:"tile"`
+	App  string  `json:"app"`
+	IPC  float64 `json:"ipc"`
+	MLP  float64 `json:"mlp"`
+	MPKI float64 `json:"mpki"`
+
+	OffChip     int64   `json:"offchip_accesses"`
+	L2Hits      int64   `json:"l2_hits"`
+	MeanLatency float64 `json:"mean_latency"`
+	P50Latency  int64   `json:"p50_latency"`
+	P90Latency  int64   `json:"p90_latency"`
+	P99Latency  int64   `json:"p99_latency"`
+
+	// Per-leg average delays of off-chip accesses (Figure 2's paths).
+	Legs [5]float64 `json:"legs"`
+}
+
+// MCSummary condenses one memory controller's measurements.
+type MCSummary struct {
+	Reads        int64     `json:"reads"`
+	Writes       int64     `json:"writes"`
+	RowHitRate   float64   `json:"row_hit_rate"`
+	AvgQueue     float64   `json:"avg_queue_depth"`
+	BusBusy      int64     `json:"bus_busy_cycles"`
+	BankIdleness []float64 `json:"bank_idleness"`
+}
+
+// Summary is a JSON-friendly digest of a Result.
+type Summary struct {
+	Cycles int64 `json:"cycles"`
+
+	Scheme1Enabled bool `json:"scheme1"`
+	Scheme2Enabled bool `json:"scheme2"`
+
+	Apps []AppSummary `json:"apps"`
+	MCs  []MCSummary  `json:"memory_controllers"`
+
+	NetAvgLatency float64 `json:"net_avg_latency"`
+	NetDelivered  int64   `json:"net_delivered"`
+
+	S1TaggedFrac float64 `json:"s1_tagged_frac"`
+	S2TaggedFrac float64 `json:"s2_tagged_frac"`
+}
+
+// Summary digests the result for serialization.
+func (r *Result) Summary() Summary {
+	s := Summary{
+		Cycles:         r.Cycles,
+		Scheme1Enabled: r.Cfg.S1.Enabled,
+		Scheme2Enabled: r.Cfg.S2.Enabled,
+		NetAvgLatency:  r.Net.AvgLatency(),
+		NetDelivered:   r.Net.Delivered,
+	}
+	if r.S1Checked > 0 {
+		s.S1TaggedFrac = float64(r.S1Tagged) / float64(r.S1Checked)
+	}
+	if r.S2Checked > 0 {
+		s.S2TaggedFrac = float64(r.S2Tagged) / float64(r.S2Checked)
+	}
+	for _, tile := range r.ActiveTiles() {
+		h := r.Collector.RoundTrip[tile]
+		a := AppSummary{
+			Tile:    tileName(tile, r.Cfg.Mesh.Width),
+			App:     r.Apps[tile].Name,
+			IPC:     r.IPC[tile],
+			MLP:     r.CoreStats[tile].MLP(),
+			MPKI:    r.MPKI(tile),
+			OffChip: r.Collector.OffChip[tile],
+			L2Hits:  r.Collector.L2Hits[tile],
+		}
+		if h.Count() > 0 {
+			a.MeanLatency = h.Mean()
+			a.P50Latency = h.Percentile(50)
+			a.P90Latency = h.Percentile(90)
+			a.P99Latency = h.Percentile(99)
+		}
+		for l, v := range r.Collector.Breakdown[tile].OverallAvg() {
+			a.Legs[l] = v
+		}
+		s.Apps = append(s.Apps, a)
+	}
+	for i, d := range r.DRAM {
+		s.MCs = append(s.MCs, MCSummary{
+			Reads:        d.Reads,
+			Writes:       d.Writes,
+			RowHitRate:   d.RowHitRate(),
+			AvgQueue:     d.AvgQueueDepth(),
+			BusBusy:      d.BusBusy,
+			BankIdleness: r.BankIdleness[i],
+		})
+	}
+	return s
+}
+
+// WriteJSON serializes the summary with indentation.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}
+
+func tileName(tile, width int) string {
+	return fmt.Sprintf("%d (%d,%d)", tile, tile%width, tile/width)
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSummaryJSON(t *testing.T) {
+	cfg := smallConfig().WithSchemes(true, true)
+	s, err := New(cfg, fillApps(cfg, "milc", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Apps) != 4 {
+		t.Fatalf("%d app summaries", len(back.Apps))
+	}
+	if len(back.MCs) != cfg.DRAM.Controllers {
+		t.Fatalf("%d MC summaries", len(back.MCs))
+	}
+	for _, a := range back.Apps {
+		if a.App != "milc" || a.IPC <= 0 || a.MLP <= 0 {
+			t.Errorf("app summary %+v", a)
+		}
+		var legSum float64
+		for _, l := range a.Legs {
+			legSum += l
+		}
+		if a.OffChip > 0 && (legSum < float64(a.MeanLatency)*0.99 || legSum > float64(a.MeanLatency)*1.01) {
+			t.Errorf("legs sum %.1f vs mean latency %.1f", legSum, a.MeanLatency)
+		}
+	}
+	if !back.Scheme1Enabled || !back.Scheme2Enabled {
+		t.Error("scheme flags lost")
+	}
+	if back.S1TaggedFrac <= 0 || back.S1TaggedFrac >= 1 {
+		t.Errorf("s1 tagged fraction %v", back.S1TaggedFrac)
+	}
+}

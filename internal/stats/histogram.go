@@ -1,0 +1,207 @@
+// Package stats provides the measurement primitives used throughout the
+// simulator: latency histograms with CDF/PDF extraction, running means,
+// per-leg delay breakdowns (the five paths of Figure 2 in the paper),
+// weighted speedup, and interval time series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width bucket histogram over [0, BucketWidth*len).
+// Values beyond the last bucket are clamped into it. The zero value is not
+// usable; construct with NewHistogram.
+type Histogram struct {
+	width   int64
+	buckets []int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns a histogram with n buckets of the given width
+// (in cycles).
+func NewHistogram(width int64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram shape width=%d n=%d", width, n))
+	}
+	return &Histogram{width: width, buckets: make([]int64, n), min: math.MaxInt64}
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := v / h.width
+	if i >= int64(len(h.buckets)) {
+		i = int64(len(h.buckets)) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Buckets returns a copy of the raw bucket counts.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// BucketWidth returns the bucket width in cycles.
+func (h *Histogram) BucketWidth() int64 { return h.width }
+
+// Point is one (x, y) sample of a distribution curve.
+type Point struct {
+	X int64   // bucket upper bound (cycles)
+	Y float64 // fraction
+}
+
+// PDF returns the probability density per bucket: fraction of samples whose
+// value falls in each bucket, keyed by the bucket's upper bound.
+func (h *Histogram) PDF() []Point {
+	out := make([]Point, len(h.buckets))
+	for i, b := range h.buckets {
+		var f float64
+		if h.count > 0 {
+			f = float64(b) / float64(h.count)
+		}
+		out[i] = Point{X: int64(i+1) * h.width, Y: f}
+	}
+	return out
+}
+
+// CDF returns the cumulative distribution: for each bucket upper bound x,
+// the fraction of samples <= x. The final point has Y == 1 for non-empty
+// histograms.
+func (h *Histogram) CDF() []Point {
+	out := make([]Point, len(h.buckets))
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		var f float64
+		if h.count > 0 {
+			f = float64(cum) / float64(h.count)
+		}
+		out[i] = Point{X: int64(i+1) * h.width, Y: f}
+	}
+	return out
+}
+
+// Percentile returns the upper bound of the bucket containing the p-th
+// percentile sample (p in (0, 100]). Returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = math.SmallestNonzeroFloat64
+	}
+	target := int64(math.Ceil(float64(h.count) * p / 100))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			return int64(i+1) * h.width
+		}
+	}
+	return int64(len(h.buckets)) * h.width
+}
+
+// FractionAbove returns the fraction of samples strictly greater than x,
+// resolved at bucket granularity (samples in the bucket containing x are
+// counted as above only if the whole bucket lies above x).
+func (h *Histogram) FractionAbove(x int64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	var above int64
+	for i, b := range h.buckets {
+		if int64(i)*h.width >= x {
+			above += b
+		}
+	}
+	return float64(above) / float64(h.count)
+}
+
+// RunningMean is an incrementally-updated arithmetic mean.
+// The zero value is an empty mean ready for use.
+type RunningMean struct {
+	n   int64
+	sum float64
+}
+
+// Add records one sample.
+func (r *RunningMean) Add(v float64) { r.n++; r.sum += v }
+
+// N returns the number of samples recorded.
+func (r *RunningMean) N() int64 { return r.n }
+
+// Mean returns the current mean (0 if empty).
+func (r *RunningMean) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Reset discards all samples.
+func (r *RunningMean) Reset() { r.n, r.sum = 0, 0 }
+
+// Quantiles computes exact quantiles of a raw sample slice (sorted copy).
+// qs entries are in (0,1]. Returns nil for empty input.
+func Quantiles(samples []int64, qs ...float64) []int64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		out[i] = s[idx]
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package stats
+
+// Series accumulates a time series of interval averages: samples Added
+// during interval k (cycles [k*Interval, (k+1)*Interval)) are averaged into
+// point k. Used for Figure 14 (bank idleness over time).
+type Series struct {
+	interval int64
+	sums     []float64
+	counts   []int64
+}
+
+// NewSeries returns a series with the given interval length in cycles.
+func NewSeries(interval int64) *Series {
+	if interval <= 0 {
+		panic("stats: series interval must be positive")
+	}
+	return &Series{interval: interval}
+}
+
+// Add records a sample observed at the given cycle.
+func (s *Series) Add(cycle int64, v float64) {
+	if cycle < 0 {
+		cycle = 0
+	}
+	k := int(cycle / s.interval)
+	for len(s.sums) <= k {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+	s.sums[k] += v
+	s.counts[k]++
+}
+
+// Interval returns the interval length in cycles.
+func (s *Series) Interval() int64 { return s.interval }
+
+// SeriesPoint is one interval average.
+type SeriesPoint struct {
+	Cycle int64 // interval start
+	Avg   float64
+	N     int64
+}
+
+// Points returns the interval averages in time order, skipping empty
+// intervals.
+func (s *Series) Points() []SeriesPoint {
+	var out []SeriesPoint
+	for k, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, SeriesPoint{Cycle: int64(k) * s.interval, Avg: s.sums[k] / float64(c), N: c})
+	}
+	return out
+}

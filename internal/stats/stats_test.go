@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for _, v := range []int64{5, 15, 15, 95, 1000, -3} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	b := h.Buckets()
+	if b[0] != 2 || b[1] != 2 || b[9] != 2 { // -3 clamps to 0; 95 and 1000 clamp to the last bucket
+		t.Errorf("buckets %v", b)
+	}
+	wantMean := float64(5+15+15+95+1000+0) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Errorf("mean %.2f, want %.2f", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramCDFPDF(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for i := int64(0); i < 50; i++ {
+		h.Add(i)
+	}
+	pdf := h.PDF()
+	var sum float64
+	for _, p := range pdf {
+		sum += p.Y
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PDF sums to %.6f", sum)
+	}
+	cdf := h.CDF()
+	if cdf[len(cdf)-1].Y != 1 {
+		t.Errorf("CDF ends at %.6f", cdf[len(cdf)-1].Y)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Y < cdf[i-1].Y {
+			t.Fatalf("CDF decreases at %d", i)
+		}
+	}
+	// Uniform over [0,50): each of the 5 buckets holds 20%.
+	for i, p := range pdf {
+		if math.Abs(p.Y-0.2) > 1e-9 {
+			t.Errorf("bucket %d PDF %.3f, want 0.2", i, p.Y)
+		}
+	}
+}
+
+func TestHistogramCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram(7, 40)
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		cdf := h.CDF()
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Y < cdf[i-1].Y {
+				return false
+			}
+		}
+		return len(vals) == 0 || cdf[len(cdf)-1].Y == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1, 1000)
+	for i := int64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(50); p < 49 || p > 51 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := h.Percentile(99); p < 98 || p > 100 {
+		t.Errorf("p99 = %d", p)
+	}
+	if NewHistogram(1, 10).Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for i := int64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	if f := h.FractionAbove(60); math.Abs(f-0.4) > 1e-9 {
+		t.Errorf("fraction above 60 = %.3f, want 0.4", f)
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	var m RunningMean
+	if m.Mean() != 0 {
+		t.Error("empty mean nonzero")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Mean() != 3 || m.N() != 2 {
+		t.Errorf("mean %.1f n %d", m.Mean(), m.N())
+	}
+	m.Reset()
+	if m.N() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var vals []int64
+	for i := int64(1); i <= 100; i++ {
+		vals = append(vals, i)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	qs := Quantiles(vals, 0.5, 0.9, 1.0)
+	if qs[0] != 50 || qs[1] != 90 || qs[2] != 100 {
+		t.Errorf("quantiles %v", qs)
+	}
+	if Quantiles(nil, 0.5) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown(100, 10)
+	b.Add([NumLegs]int64{10, 20, 100, 15, 5})  // total 150 -> bucket [100,200)
+	b.Add([NumLegs]int64{20, 30, 120, 20, 10}) // total 200 -> bucket [200,300)
+	b.Add([NumLegs]int64{10, 10, 100, 20, 10}) // total 150 -> bucket [100,200)
+	rows := b.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Lo != 100 || rows[0].Count != 2 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[0].Avg[LegMemory] != 100 {
+		t.Errorf("avg mem leg %.1f", rows[0].Avg[LegMemory])
+	}
+	if b.Count() != 3 {
+		t.Errorf("count %d", b.Count())
+	}
+	overall := b.OverallAvg()
+	var sum float64
+	for _, v := range overall {
+		sum += v
+	}
+	if math.Abs(sum-(150+200+150)/3.0) > 1e-9 {
+		t.Errorf("overall leg sum %.2f", sum)
+	}
+}
+
+func TestLegNames(t *testing.T) {
+	want := []string{"L1 to L2", "L2 to Mem", "Mem", "Mem to L2", "L2 to L1"}
+	for l := Leg(0); l < NumLegs; l++ {
+		if l.String() != want[l] {
+			t.Errorf("leg %d = %q, want %q", l, l.String(), want[l])
+		}
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if err != nil || ws != 1.5 {
+		t.Errorf("ws = %.2f err %v", ws, err)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone IPC accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	_, _ = WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestNormalizedSpeedup(t *testing.T) {
+	v, err := NormalizedSpeedup(11, 10)
+	if err != nil || math.Abs(v-1.1) > 1e-12 {
+		t.Errorf("normalized %.3f err %v", v, err)
+	}
+	if _, err := NormalizedSpeedup(1, 0); err == nil {
+		t.Error("zero base accepted")
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	ms, err := MaxSlowdown([]float64{1, 0.5}, []float64{2, 2})
+	if err != nil || ms != 4 {
+		t.Errorf("max slowdown %.2f err %v", ms, err)
+	}
+	if _, err := MaxSlowdown([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero shared IPC accepted")
+	}
+}
+
+func TestHarmonicSpeedup(t *testing.T) {
+	hs, err := HarmonicSpeedup([]float64{1, 1}, []float64{2, 2})
+	if err != nil || hs != 0.5 {
+		t.Errorf("harmonic speedup %.2f err %v", hs, err)
+	}
+	if _, err := HarmonicSpeedup(nil, nil); err == nil {
+		t.Error("empty harmonic speedup accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean %.3f err %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty geomean accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative geomean accepted")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(10, 1)
+	s.Add(50, 3)
+	s.Add(250, 5)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Cycle != 0 || pts[0].Avg != 2 || pts[0].N != 2 {
+		t.Errorf("point 0 = %+v", pts[0])
+	}
+	if pts[1].Cycle != 200 || pts[1].Avg != 5 {
+		t.Errorf("point 1 = %+v", pts[1])
+	}
+	if s.Interval() != 100 {
+		t.Error("interval wrong")
+	}
+}

@@ -1,0 +1,311 @@
+// Package svg renders the experiment data as standalone SVG figures using
+// only the standard library: line charts (CDF/PDF distributions), grouped
+// bar charts (speedups, idleness) and a mesh heatmap (link utilization).
+// The output favours the plain look of conference-paper figures.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Dash bool // render dashed (e.g. the "before" curve)
+}
+
+// Chart is a 2D line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels; default 640
+	Height int // pixels; default 400
+	Series []Series
+}
+
+type frame struct {
+	w, h                   float64
+	left, right, top, bot  float64
+	xmin, xmax, ymin, ymax float64
+}
+
+func (f *frame) x(v float64) float64 {
+	if f.xmax == f.xmin {
+		return f.left
+	}
+	return f.left + (v-f.xmin)/(f.xmax-f.xmin)*(f.w-f.left-f.right)
+}
+
+func (f *frame) y(v float64) float64 {
+	if f.ymax == f.ymin {
+		return f.h - f.bot
+	}
+	return f.h - f.bot - (v-f.ymin)/(f.ymax-f.ymin)*(f.h-f.top-f.bot)
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svg: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	f := frame{w: float64(width), h: float64(height), left: 60, right: 16, top: 28, bot: 44}
+	f.xmin, f.xmax = math.Inf(1), math.Inf(-1)
+	f.ymin, f.ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("svg: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			f.xmin = math.Min(f.xmin, s.X[i])
+			f.xmax = math.Max(f.xmax, s.X[i])
+			f.ymin = math.Min(f.ymin, s.Y[i])
+			f.ymax = math.Max(f.ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(f.xmin, 1) {
+		return fmt.Errorf("svg: chart %q has empty series", c.Title)
+	}
+	if f.ymin > 0 && f.ymin < f.ymax/2 {
+		f.ymin = 0 // anchor at zero unless the data is far from it
+	}
+
+	var b strings.Builder
+	header(&b, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="14">%s</text>`+"\n", width/2, esc(c.Title))
+	axes(&b, &f, c.XLabel, c.YLabel)
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts strings.Builder
+		for j := range s.X {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", f.x(s.X[j]), f.y(s.Y[j]))
+		}
+		dash := ""
+		if s.Dash {
+			dash = ` stroke-dasharray="6,3"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5"%s points="%s"/>`+"\n",
+			color, dash, strings.TrimSpace(pts.String()))
+		// Legend entry.
+		ly := 34 + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			width-150, ly, width-126, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", width-120, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarChart is a grouped bar chart: one group per label, one bar per series.
+type BarChart struct {
+	Title    string
+	YLabel   string
+	Labels   []string
+	Series   []string    // bar names within a group
+	Values   [][]float64 // [group][series]
+	Baseline float64     // horizontal rule (e.g. 1.0), 0 = none
+	Width    int
+	Height   int
+}
+
+// Render writes the bar chart as a standalone SVG document.
+func (c BarChart) Render(w io.Writer) error {
+	if len(c.Labels) != len(c.Values) {
+		return fmt.Errorf("svg: %d labels for %d groups", len(c.Labels), len(c.Values))
+	}
+	if len(c.Labels) == 0 {
+		return fmt.Errorf("svg: empty bar chart %q", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 360
+	}
+	f := frame{w: float64(width), h: float64(height), left: 60, right: 16, top: 28, bot: 60}
+	f.ymin, f.ymax = math.Inf(1), math.Inf(-1)
+	for gi, g := range c.Values {
+		if len(g) != len(c.Series) {
+			return fmt.Errorf("svg: group %d has %d values for %d series", gi, len(g), len(c.Series))
+		}
+		for _, v := range g {
+			f.ymin = math.Min(f.ymin, v)
+			f.ymax = math.Max(f.ymax, v)
+		}
+	}
+	if c.Baseline != 0 {
+		f.ymin = math.Min(f.ymin, c.Baseline)
+		f.ymax = math.Max(f.ymax, c.Baseline)
+	}
+	span := f.ymax - f.ymin
+	if span == 0 {
+		span = 1
+	}
+	f.ymin -= 0.05 * span
+	f.ymax += 0.05 * span
+	if f.ymin > 0 && f.ymax > 2*span {
+		// Values cluster far from zero (e.g. normalized speedups ~1.0):
+		// keep the zoomed range rather than anchoring at 0.
+	} else if f.ymin > 0 {
+		f.ymin = 0
+	}
+
+	var b strings.Builder
+	header(&b, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="14">%s</text>`+"\n", width/2, esc(c.Title))
+	axes(&b, &f, "", c.YLabel)
+
+	groupW := (f.w - f.left - f.right) / float64(len(c.Labels))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, g := range c.Values {
+		gx := f.left + groupW*float64(gi) + groupW*0.1
+		for si, v := range g {
+			x := gx + barW*float64(si)
+			y0, y1 := f.y(math.Max(f.ymin, 0)), f.y(v)
+			if y1 > y0 {
+				y0, y1 = y1, y0
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y1, barW*0.92, y0-y1, palette[si%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10">%s</text>`+"\n",
+			gx+groupW*0.4, f.h-f.bot+14, esc(c.Labels[gi]))
+	}
+	if c.Baseline != 0 {
+		y := f.y(c.Baseline)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-dasharray="4,3"/>`+"\n",
+			f.left, y, f.w-f.right, y)
+	}
+	for si, name := range c.Series {
+		ly := 34 + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="10" fill="%s"/>`+"\n",
+			width-150, ly-8, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", width-132, ly, esc(name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Heatmap renders a W x H grid of values (e.g. per-tile link load) with a
+// white-to-red ramp and per-cell annotations.
+type Heatmap struct {
+	Title  string
+	Grid   [][]float64 // [row][col]
+	Width  int
+	Height int
+}
+
+// Render writes the heatmap as a standalone SVG document.
+func (c Heatmap) Render(w io.Writer) error {
+	if len(c.Grid) == 0 || len(c.Grid[0]) == 0 {
+		return fmt.Errorf("svg: empty heatmap %q", c.Title)
+	}
+	rows, cols := len(c.Grid), len(c.Grid[0])
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 80*cols + 40
+	}
+	if height <= 0 {
+		height = 80*rows + 60
+	}
+	var max float64
+	for _, row := range c.Grid {
+		if len(row) != cols {
+			return fmt.Errorf("svg: ragged heatmap rows")
+		}
+		for _, v := range row {
+			if v < 0 {
+				return fmt.Errorf("svg: negative heatmap value %v", v)
+			}
+			max = math.Max(max, v)
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	cellW := float64(width-40) / float64(cols)
+	cellH := float64(height-60) / float64(rows)
+
+	var b strings.Builder
+	header(&b, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="14">%s</text>`+"\n", width/2, esc(c.Title))
+	for r, row := range c.Grid {
+		for cIdx, v := range row {
+			x := 20 + cellW*float64(cIdx)
+			y := 30 + cellH*float64(r)
+			heat := v / max
+			red := 255
+			gb := int(255 * (1 - heat))
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" stroke="#999"/>`+"\n",
+				x, y, cellW, cellH, red, gb, gb)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10">%.2f</text>`+"\n",
+				x+cellW/2, y+cellH/2+4, v)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func header(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+}
+
+// axes draws the plot frame, tick labels and axis titles.
+func axes(b *strings.Builder, f *frame, xlabel, ylabel string) {
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		f.left, f.top, f.w-f.left-f.right, f.h-f.top-f.bot)
+	for i := 0; i <= 4; i++ {
+		fy := f.ymin + (f.ymax-f.ymin)*float64(i)/4
+		y := f.y(fy)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", f.left, y, f.w-f.right, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="10">%s</text>`+"\n", f.left-4, y+3, fmtNum(fy))
+		if f.xmax > f.xmin {
+			fx := f.xmin + (f.xmax-f.xmin)*float64(i)/4
+			x := f.x(fx)
+			fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10">%s</text>`+"\n", x, f.h-f.bot+14, fmtNum(fx))
+		}
+	}
+	if xlabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12">%s</text>`+"\n",
+			(f.left+f.w-f.right)/2, f.h-8, esc(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%.1f" text-anchor="middle" font-size="12" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			(f.top+f.h-f.bot)/2, (f.top+f.h-f.bot)/2, esc(ylabel))
+	}
+}
+
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,126 @@
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the output as XML to catch structural mistakes.
+func wellFormed(t *testing.T, b []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(b))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, b)
+		}
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := Chart{
+		Title:  "CDF <base> & s1",
+		XLabel: "delay",
+		YLabel: "fraction",
+		Series: []Series{
+			{Name: "base", X: []float64{0, 100, 200}, Y: []float64{0, 0.5, 1}},
+			{Name: "s1", X: []float64{0, 100, 200}, Y: []float64{0, 0.7, 1}, Dash: true},
+		},
+	}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("dashed series not dashed")
+	}
+	if !strings.Contains(out, "&lt;base&gt; &amp;") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{}).Render(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Error("ragged series accepted")
+	}
+	empty := Chart{Series: []Series{{Name: "x"}}}
+	if err := empty.Render(&buf); err == nil {
+		t.Error("series with no points accepted")
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := BarChart{
+		Title:    "speedups",
+		YLabel:   "normalized WS",
+		Labels:   []string{"w-7", "w-8"},
+		Series:   []string{"scheme-1", "scheme-1+2"},
+		Values:   [][]float64{{1.002, 1.007}, {1.001, 1.010}},
+		Baseline: 1.0,
+	}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	if got := strings.Count(out, "<rect"); got < 4+2 { // 4 bars + bg + legend swatches
+		t.Errorf("only %d rects", got)
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("baseline rule missing")
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BarChart{}).Render(&buf); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	bad := BarChart{Labels: []string{"a"}, Series: []string{"x", "y"}, Values: [][]float64{{1}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Error("ragged group accepted")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := Heatmap{
+		Title: "link load",
+		Grid:  [][]float64{{0, 0.5}, {1.0, 0.25}},
+	}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if got := strings.Count(buf.String(), "<rect"); got != 4+1 { // 4 cells + bg
+		t.Errorf("%d rects, want 5", got)
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Heatmap{}).Render(&buf); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+	if err := (Heatmap{Grid: [][]float64{{1}, {1, 2}}}).Render(&buf); err == nil {
+		t.Error("ragged heatmap accepted")
+	}
+	if err := (Heatmap{Grid: [][]float64{{-1}}}).Render(&buf); err == nil {
+		t.Error("negative heatmap value accepted")
+	}
+}

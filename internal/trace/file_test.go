@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g, err := NewGenerator(MustLookup("milc"), 2, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 50_000
+	if err := Record(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+
+	ft, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Records() != n {
+		t.Fatalf("parsed %d records, want %d", ft.Records(), n)
+	}
+
+	// Replay must match a fresh generator instruction-for-instruction.
+	ref, _ := NewGenerator(MustLookup("milc"), 2, 64, 7)
+	for i := 0; i < n; i++ {
+		want := ref.Next()
+		if got := ft.Next(); got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	// Prewarm sets survive the round trip.
+	wantHot, wantWarm := ref.PrewarmLines()
+	gotHot, gotWarm := ft.PrewarmLines()
+	if len(gotHot) != len(wantHot) || len(gotWarm) != len(wantWarm) {
+		t.Fatalf("prewarm sizes %d/%d, want %d/%d", len(gotHot), len(gotWarm), len(wantHot), len(wantWarm))
+	}
+	for i := range wantHot {
+		if gotHot[i] != wantHot[i] {
+			t.Fatalf("hot line %d mismatch", i)
+		}
+	}
+
+	if ft.Loops() != 0 {
+		t.Fatalf("premature loop after exactly one pass")
+	}
+}
+
+func TestTraceLoops(t *testing.T) {
+	g, _ := NewGenerator(MustLookup("gamess"), 0, 64, 1)
+	var buf bytes.Buffer
+	if err := Record(&buf, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstPass []Instr
+	for i := 0; i < 100; i++ {
+		firstPass = append(firstPass, ft.Next())
+	}
+	for i := 0; i < 100; i++ {
+		if got := ft.Next(); got != firstPass[i] {
+			t.Fatalf("loop replay diverges at %d", i)
+		}
+	}
+	if ft.Loops() != 1 {
+		t.Fatalf("loops %d, want 1", ft.Loops())
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("BADMAGIC........................"),
+		append(append([]byte{}, traceMagic[:]...), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0), // absurd nHot
+	}
+	for i, raw := range cases {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Header but zero records is also invalid.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(buf.Bytes()); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestWriterGuards(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Instr{}); err == nil {
+		t.Error("write before header accepted")
+	}
+	if err := w.WriteHeader(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(nil, nil); err == nil {
+		t.Error("double header accepted")
+	}
+}

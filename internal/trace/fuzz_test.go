@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the trace-file parser against corrupt inputs: it must
+// either reject them or produce a trace whose replay stays in bounds.
+func FuzzParse(f *testing.F) {
+	// Seed with a valid small trace and some mutations.
+	g, err := NewGenerator(MustLookup("gamess"), 0, 64, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, g, 200); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add(traceMagic[:])
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ft, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		// Accepted: replay must not panic and must loop coherently.
+		n := ft.Records()
+		if n <= 0 {
+			t.Fatal("accepted trace with no records")
+		}
+		limit := n
+		if limit > 1000 {
+			limit = 1000
+		}
+		for i := int64(0); i < 2*limit; i++ {
+			in := ft.Next()
+			if !in.IsMem && (in.Addr != 0 || in.IsStore && false) {
+				_ = in
+			}
+		}
+	})
+}

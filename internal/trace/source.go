@@ -1,0 +1,20 @@
+package trace
+
+// Source supplies the instruction stream of one core.
+type Source interface {
+	Next() Instr
+}
+
+// AppSource is a Source that also knows the resident working sets of its
+// application, so the simulator can functionally pre-warm the caches.
+type AppSource interface {
+	Source
+	// PrewarmLines returns the line addresses of the L1-resident (hot)
+	// and L2-resident (warm) working sets; either may be empty.
+	PrewarmLines() (hot, warm []uint64)
+}
+
+var (
+	_ AppSource = (*Generator)(nil)
+	_ AppSource = (*FileTrace)(nil)
+)

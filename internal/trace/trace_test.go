@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllBuiltinProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 28 {
+		t.Fatalf("only %d profiles; Table 2 needs 28 applications", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"mcf", "lbm", "GemsFDTD", "dealII", "xalancbmk"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("lookup %s: %v", name, err)
+		}
+	}
+	if _, err := Lookup("doom3"); err == nil {
+		t.Error("unknown application accepted")
+	}
+}
+
+func TestMemoryIntensityClassification(t *testing.T) {
+	intensive := []string{"mcf", "lbm", "milc", "libquantum", "leslie3d", "GemsFDTD", "soplex", "sphinx3", "xalancbmk"}
+	nonIntensive := []string{"omnetpp", "perlbench", "astar", "zeusmp", "wrf", "sjeng", "povray", "hmmer",
+		"gromacs", "gcc", "gamess", "dealII", "calculix", "bzip2", "bwaves", "namd", "h264ref", "gobmk", "tonto"}
+	for _, n := range intensive {
+		if !MustLookup(n).MemoryIntensive() {
+			t.Errorf("%s should be memory intensive", n)
+		}
+	}
+	for _, n := range nonIntensive {
+		if MustLookup(n).MemoryIntensive() {
+			t.Errorf("%s should not be memory intensive", n)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := MustLookup("milc")
+	g1, _ := NewGenerator(p, 3, 64, 42)
+	g2, _ := NewGenerator(p, 3, 64, 42)
+	for i := 0; i < 10000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("streams diverge at instruction %d", i)
+		}
+	}
+	g3, _ := NewGenerator(p, 4, 64, 42)
+	same := true
+	g1b, _ := NewGenerator(p, 3, 64, 42)
+	for i := 0; i < 100; i++ {
+		if g1b.Next() != g3.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different cores produce identical streams")
+	}
+}
+
+func TestGeneratorRatesMatchProfile(t *testing.T) {
+	const n = 400000
+	for _, name := range []string{"mcf", "lbm", "gamess"} {
+		p := MustLookup(name)
+		g, _ := NewGenerator(p, 0, 64, 7)
+		var mem, stores, cold, warm, hot int
+		coldBase := g.coldBase
+		warmBase := g.warmBase
+		for i := 0; i < n; i++ {
+			in := g.Next()
+			if !in.IsMem {
+				continue
+			}
+			mem++
+			if in.IsStore {
+				stores++
+			}
+			switch {
+			case in.Addr >= coldBase:
+				cold++
+			case in.Addr >= warmBase:
+				warm++
+			default:
+				hot++
+			}
+		}
+		memFrac := float64(mem) / n
+		if math.Abs(memFrac-p.MemFrac) > 0.01 {
+			t.Errorf("%s: mem fraction %.3f, want %.3f", name, memFrac, p.MemFrac)
+		}
+		storeFrac := float64(stores) / float64(mem)
+		if math.Abs(storeFrac-p.StoreFrac) > 0.02 {
+			t.Errorf("%s: store fraction %.3f, want %.3f", name, storeFrac, p.StoreFrac)
+		}
+		coldPKI := float64(cold) * 1000 / n
+		if math.Abs(coldPKI-p.MPKI) > 0.15*p.MPKI+0.5 {
+			t.Errorf("%s: cold accesses per kilo-instr %.2f, want ~%.2f", name, coldPKI, p.MPKI)
+		}
+		warmPKI := float64(warm) * 1000 / n
+		if math.Abs(warmPKI-p.WarmAPKI) > 0.15*p.WarmAPKI+0.5 {
+			t.Errorf("%s: warm accesses per kilo-instr %.2f, want ~%.2f", name, warmPKI, p.WarmAPKI)
+		}
+	}
+}
+
+func TestColdLinesNeverReused(t *testing.T) {
+	p := MustLookup("lbm")
+	g, _ := NewGenerator(p, 0, 64, 3)
+	seen := make(map[uint64]bool)
+	coldBase := g.coldBase
+	for i := 0; i < 2_000_000; i++ {
+		in := g.Next()
+		if !in.IsMem || in.Addr < coldBase {
+			continue
+		}
+		line := in.Addr &^ 63
+		if seen[line] {
+			t.Fatalf("cold line %#x reused at instruction %d", line, i)
+		}
+		seen[line] = true
+	}
+}
+
+func TestColdStreamRowLocality(t *testing.T) {
+	// Consecutive cold lines within a stream are sequential: over a burst
+	// of RowBurst lines the stream advances by exactly one line per visit.
+	p := MustLookup("libquantum") // RowBurst 512, 4 streams
+	g, _ := NewGenerator(p, 0, 64, 3)
+	perStream := make(map[int][]uint64)
+	for i := 0; len(perStream) < 4 || len(perStream[0]) < 100; i++ {
+		in := g.Next()
+		if !in.IsMem || in.Addr < g.coldBase {
+			continue
+		}
+		line := (in.Addr - g.coldBase) >> 6
+		s := int(line / (coldRegionLines / uint64(p.Streams)))
+		perStream[s] = append(perStream[s], line)
+		if i > 10_000_000 {
+			t.Fatal("streams never filled")
+		}
+	}
+	for s, lines := range perStream {
+		sequential := 0
+		for i := 1; i < len(lines); i++ {
+			if lines[i] == lines[i-1]+1 {
+				sequential++
+			}
+		}
+		if frac := float64(sequential) / float64(len(lines)-1); frac < 0.9 {
+			t.Errorf("stream %d: only %.0f%% sequential advances", s, frac*100)
+		}
+	}
+}
+
+func TestRegionsDisjointAcrossCores(t *testing.T) {
+	p := MustLookup("mcf")
+	f := func(a, b uint8) bool {
+		ca, cb := int(a)%64, int(b)%64
+		if ca == cb {
+			return true
+		}
+		ga, _ := NewGenerator(p, ca, 64, 1)
+		gb, _ := NewGenerator(p, cb, 64, 1)
+		// The whole per-core region is 1<<36 bytes; all generated
+		// addresses stay within it.
+		baseA := (uint64(ca) + 1) << 36
+		baseB := (uint64(cb) + 1) << 36
+		for i := 0; i < 200; i++ {
+			ia, ib := ga.Next(), gb.Next()
+			if ia.IsMem && (ia.Addr < baseA || ia.Addr >= baseA+(1<<36)) {
+				return false
+			}
+			if ib.IsMem && (ib.Addr < baseB || ib.Addr >= baseB+(1<<36)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrewarmLinesWithinRegions(t *testing.T) {
+	p := MustLookup("soplex")
+	g, _ := NewGenerator(p, 2, 64, 9)
+	hot, warm := g.PrewarmLines()
+	if len(hot) != p.HotLines || len(warm) != p.WarmLines {
+		t.Fatalf("prewarm sizes %d/%d, want %d/%d", len(hot), len(warm), p.HotLines, p.WarmLines)
+	}
+	for _, l := range hot {
+		if l < g.hotBase || l >= g.warmBase {
+			t.Fatalf("hot line %#x outside the hot region", l)
+		}
+	}
+	for _, l := range warm {
+		if l < g.warmBase || l >= g.coldBase {
+			t.Fatalf("warm line %#x outside the warm region", l)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	good := MustLookup("mcf")
+	bad := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.MemFrac = 0 },
+		func(p *Profile) { p.MemFrac = 1.2 },
+		func(p *Profile) { p.StoreFrac = -0.1 },
+		func(p *Profile) { p.MPKI = -1 },
+		func(p *Profile) { p.RowBurst = 0 },
+		func(p *Profile) { p.Streams = 0 },
+		func(p *Profile) { p.HotLines = 0 },
+		func(p *Profile) { p.MPKI = 500 }, // exceeds the mem-op budget
+	}
+	for i, mutate := range bad {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestGeneratorArgValidation(t *testing.T) {
+	p := MustLookup("mcf")
+	if _, err := NewGenerator(p, -1, 64, 1); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := NewGenerator(p, 0, 63, 1); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	if _, err := NewGenerator(Profile{}, 0, 64, 1); err == nil {
+		t.Error("zero profile accepted")
+	}
+}

@@ -1,0 +1,251 @@
+// Package nocmem is a cycle-level simulator of NoC-based multicores that
+// reproduces "Addressing End-to-End Memory Access Latency in NoC-Based
+// Multicores" (Sharifi, Kultursay, Kandemir, Das — MICRO 2012).
+//
+// The package is the public facade over the internal substrates: it builds
+// fully-wired systems (out-of-order cores, private L1s, shared S-NUCA L2,
+// mesh NoC, DRAM controllers), runs the paper's multiprogrammed workloads
+// under the baseline or under the two prioritization schemes, and computes
+// the paper's metrics (normalized weighted speedup, latency distributions,
+// per-leg delay breakdowns, bank idleness).
+//
+// Quick start:
+//
+//	cfg := nocmem.Baseline32()
+//	w, _ := nocmem.GetWorkload(7)
+//	row, err := nocmem.SpeedupFor(cfg, w)   // base vs S1 vs S1+S2
+//	fmt.Println(row.NormS1, row.NormS1S2)
+package nocmem
+
+import (
+	"fmt"
+	"sync"
+
+	"nocmem/internal/config"
+	"nocmem/internal/sim"
+	"nocmem/internal/stats"
+	"nocmem/internal/trace"
+	"nocmem/internal/workload"
+)
+
+// Re-exported configuration types. See the config package for field
+// documentation.
+type (
+	// Config is the full system configuration.
+	Config = config.Config
+	// Result is the measurement bundle of one simulation run.
+	Result = sim.Result
+	// Workload is one multiprogrammed mix from Table 2.
+	Workload = workload.Workload
+	// Profile describes one synthetic application.
+	Profile = trace.Profile
+	// FileTrace is a recorded instruction trace opened for replay.
+	FileTrace = trace.FileTrace
+)
+
+// Category re-exports the workload categories.
+const (
+	Mixed           = workload.Mixed
+	MemIntensive    = workload.MemIntensive
+	MemNonIntensive = workload.MemNonIntensive
+)
+
+// Baseline32 returns the paper's Table 1 configuration (32 cores, 4x8 mesh,
+// 4 memory controllers).
+func Baseline32() Config { return config.Baseline32() }
+
+// Baseline16 returns the 16-core 4x4 configuration of Figure 15.
+func Baseline16() Config { return config.Baseline16() }
+
+// Workloads returns the 18 workloads of Table 2.
+func Workloads() []Workload { return workload.All() }
+
+// GetWorkload returns workload id (1..18).
+func GetWorkload(id int) (Workload, error) { return workload.Get(id) }
+
+// LookupApp returns the built-in synthetic profile for a SPEC CPU2006
+// application name.
+func LookupApp(name string) (Profile, error) { return trace.Lookup(name) }
+
+// Apps returns every built-in application profile.
+func Apps() []Profile { return trace.Profiles() }
+
+// NewSimulator builds a simulator with one application per tile (empty
+// profiles leave tiles idle).
+func NewSimulator(cfg Config, apps []Profile) (*sim.Simulator, error) {
+	return sim.New(cfg, apps)
+}
+
+// OpenTrace loads a recorded instruction trace (written by cmd/tracegen or
+// trace.Record) for replay.
+func OpenTrace(path string) (*trace.FileTrace, error) { return trace.OpenFile(path) }
+
+// RunTraces runs recorded traces, one per tile in order (nil entries leave
+// tiles idle); names label the tiles in the results.
+func RunTraces(cfg Config, traces []*trace.FileTrace, names []string) (*Result, error) {
+	nodes := cfg.Mesh.Nodes()
+	if len(traces) > nodes {
+		return nil, fmt.Errorf("nocmem: %d traces for %d tiles", len(traces), nodes)
+	}
+	srcs := make([]trace.AppSource, nodes)
+	apps := make([]Profile, nodes)
+	for i, t := range traces {
+		if t == nil {
+			continue
+		}
+		srcs[i] = t
+		name := fmt.Sprintf("trace-%d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		apps[i] = Profile{Name: name}
+	}
+	s, err := sim.NewFromSources(cfg, srcs, apps)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// RunWorkload runs one workload on cfg and returns its measurements. The
+// workload must have at most as many applications as the mesh has tiles;
+// remaining tiles stay idle.
+func RunWorkload(cfg Config, w Workload) (*Result, error) {
+	apps, err := w.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	return RunApps(cfg, apps)
+}
+
+// RunApps runs an explicit application placement (padded with idle tiles).
+func RunApps(cfg Config, apps []Profile) (*Result, error) {
+	nodes := cfg.Mesh.Nodes()
+	if len(apps) > nodes {
+		return nil, fmt.Errorf("nocmem: %d applications for %d tiles", len(apps), nodes)
+	}
+	padded := make([]Profile, nodes)
+	copy(padded, apps)
+	s, err := sim.New(cfg, padded)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// aloneCache memoizes alone-run IPCs per (config, application); the alone
+// IPC of an application is independent of its co-runners and of the
+// schemes (alone runs always use the unprioritized baseline, matching the
+// paper's IPC_alone definition).
+var aloneCache sync.Map // string -> float64
+
+func aloneKey(cfg Config, name string) string {
+	cfg = cfg.WithSchemes(false, false)
+	return fmt.Sprintf("%+v|%s", cfg, name)
+}
+
+// AloneIPC returns the application's IPC when it runs alone on the system
+// (tile 0), used as the denominator of weighted speedup. Results are
+// memoized per configuration.
+func AloneIPC(cfg Config, app Profile) (float64, error) {
+	key := aloneKey(cfg, app.Name)
+	if v, ok := aloneCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	r, err := RunApps(cfg.WithSchemes(false, false), []Profile{app})
+	if err != nil {
+		return 0, err
+	}
+	ipc := r.IPC[0]
+	if ipc <= 0 {
+		return 0, fmt.Errorf("nocmem: alone IPC of %s is %v", app.Name, ipc)
+	}
+	aloneCache.Store(key, ipc)
+	return ipc, nil
+}
+
+// WeightedSpeedup computes WS = sum IPC_shared/IPC_alone for a finished run.
+func WeightedSpeedup(cfg Config, r *Result) (float64, error) {
+	var shared, alone []float64
+	for _, tile := range r.ActiveTiles() {
+		a, err := AloneIPC(cfg, r.Apps[tile])
+		if err != nil {
+			return 0, err
+		}
+		shared = append(shared, r.IPC[tile])
+		alone = append(alone, a)
+	}
+	return stats.WeightedSpeedup(shared, alone)
+}
+
+// Fairness returns the unfairness (max per-app slowdown vs running alone)
+// and the harmonic speedup of a finished run — the fairness-oriented
+// companions to weighted speedup.
+func Fairness(cfg Config, r *Result) (maxSlowdown, harmonic float64, err error) {
+	var shared, alone []float64
+	for _, tile := range r.ActiveTiles() {
+		a, err := AloneIPC(cfg, r.Apps[tile])
+		if err != nil {
+			return 0, 0, err
+		}
+		shared = append(shared, r.IPC[tile])
+		alone = append(alone, a)
+	}
+	if maxSlowdown, err = stats.MaxSlowdown(shared, alone); err != nil {
+		return 0, 0, err
+	}
+	if harmonic, err = stats.HarmonicSpeedup(shared, alone); err != nil {
+		return 0, 0, err
+	}
+	return maxSlowdown, harmonic, nil
+}
+
+// SpeedupRow holds the Figure 11 data point of one workload: the weighted
+// speedups of the three systems and the normalized values the paper plots.
+type SpeedupRow struct {
+	Workload Workload
+
+	BaseWS, S1WS, S1S2WS float64
+
+	// NormS1 and NormS1S2 are normalized to the unprioritized base.
+	NormS1, NormS1S2 float64
+
+	// Results retains the three runs (base, S1, S1+S2) for deeper
+	// inspection (latency CDFs, bank idleness, ...).
+	Base, S1, S1S2 *Result
+}
+
+// SpeedupFor runs one workload under base, Scheme-1, and Scheme-1+2, and
+// returns the normalized weighted speedups of Figure 11.
+func SpeedupFor(cfg Config, w Workload) (SpeedupRow, error) {
+	row := SpeedupRow{Workload: w}
+	type variant struct {
+		s1, s2 bool
+		ws     *float64
+		res    **Result
+	}
+	for _, v := range []variant{
+		{false, false, &row.BaseWS, &row.Base},
+		{true, false, &row.S1WS, &row.S1},
+		{true, true, &row.S1S2WS, &row.S1S2},
+	} {
+		r, err := RunWorkload(cfg.WithSchemes(v.s1, v.s2), w)
+		if err != nil {
+			return row, err
+		}
+		ws, err := WeightedSpeedup(cfg, r)
+		if err != nil {
+			return row, err
+		}
+		*v.ws = ws
+		*v.res = r
+	}
+	var err error
+	if row.NormS1, err = stats.NormalizedSpeedup(row.S1WS, row.BaseWS); err != nil {
+		return row, err
+	}
+	if row.NormS1S2, err = stats.NormalizedSpeedup(row.S1S2WS, row.BaseWS); err != nil {
+		return row, err
+	}
+	return row, nil
+}
