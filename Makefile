@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is the gate run before every commit:
+# vet, build, the full test suite under the race detector, and a smoke run
+# of the perf harness (micro-benchmarks only; the full harness writing
+# BENCH_1.json is `make bench`).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full perf-regression harness: micro-benchmarks + sequential-vs-parallel
+# figure sweep, written to BENCH_1.json for before/after comparison.
+bench:
+	$(GO) run ./cmd/bench
+
+# Quick harness pass with small windows; micro numbers only, to stdout.
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -skip-sweep -out -
+
+ci: vet build race bench-smoke

@@ -1,0 +1,256 @@
+// Command bench is the perf-regression harness. It measures, in-process via
+// testing.Benchmark:
+//
+//   - the simulator's hot-path micro-benchmarks (ns per simulated cycle and
+//     allocs per cycle for the 32- and 16-core systems, and per network tick
+//     of a loaded mesh), and
+//   - the wall time of a Figure-11 style sweep (three workloads, three
+//     systems each, plus alone runs) executed sequentially and on the
+//     runner's parallel worker pool,
+//
+// and writes everything as JSON for before/after comparison across commits.
+//
+// Usage:
+//
+//	bench                     # full harness -> BENCH_1.json
+//	bench -out -              # JSON to stdout
+//	bench -quick              # smaller op counts (CI smoke)
+//	bench -skip-sweep         # micro-benchmarks only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nocmem/internal/config"
+	"nocmem/internal/exp"
+	"nocmem/internal/noc"
+	"nocmem/internal/sim"
+	"nocmem/internal/workload"
+)
+
+type microResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type sweepResult struct {
+	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
+	Seconds     float64 `json:"seconds"`
+}
+
+type report struct {
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Baseline   []microResult `json:"baseline"`
+	Micro      []microResult `json:"micro"`
+	Sweep      []sweepResult `json:"sweep,omitempty"`
+	// SweepSpeedup is sequential seconds / parallel seconds. On a
+	// single-CPU host this hovers around 1.0 by construction.
+	SweepSpeedup float64 `json:"sweep_speedup,omitempty"`
+}
+
+// baseline is the fixed "before" reference: the same micro-benchmarks
+// measured at the growth seed (commit ba88191, before the allocation diet
+// and free lists), via `go test -bench SimCycle -benchmem -benchtime
+// 100000x` on a single-CPU Xeon @ 2.70GHz container.
+var baseline = []microResult{
+	{Name: "sim_cycle_32core", Ops: 100_000, NsPerOp: 45375, BytesPerOp: 4520, AllocsPerOp: 105},
+	{Name: "sim_cycle_16core", Ops: 100_000, NsPerOp: 36336, BytesPerOp: 2393, AllocsPerOp: 56},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		out       = flag.String("out", "BENCH_1.json", "output file ('-' = stdout)")
+		quick     = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
+		skipSweep = flag.Bool("skip-sweep", false, "micro-benchmarks only")
+	)
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Baseline:   baseline,
+	}
+
+	for _, m := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"sim_cycle_32core", simCycleBench(config.Baseline32(), 7, false)},
+		{"sim_cycle_16core", simCycleBench(config.Baseline16(), 7, true)},
+		{"network_tick_4x8", networkTickBench()},
+	} {
+		log.Printf("running %s...", m.name)
+		r := testing.Benchmark(m.fn)
+		if r.N == 0 {
+			log.Fatalf("%s produced no iterations", m.name)
+		}
+		rep.Micro = append(rep.Micro, microResult{
+			Name:        m.name,
+			Ops:         r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	if !*skipSweep {
+		opts := exp.Options{
+			WarmupCycles:        20_000,
+			MeasureCycles:       60_000,
+			Seed:                1,
+			ThresholdPushPeriod: 5_000,
+		}
+		if *quick {
+			opts.WarmupCycles, opts.MeasureCycles = 5_000, 15_000
+			opts.ThresholdPushPeriod = 2_000
+		}
+		var wls []workload.Workload
+		for _, id := range []int{1, 7, 13} {
+			w, err := workload.Get(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			wls = append(wls, w)
+		}
+		var rows [2][]exp.SpeedupRow
+		for i, par := range []int{1, 0} { // 0 = GOMAXPROCS
+			o := opts
+			o.Parallelism = par
+			r := exp.NewRunner(o)
+			name := "fig11_sweep_sequential"
+			if par != 1 {
+				name = "fig11_sweep_parallel"
+			}
+			log.Printf("running %s (workers=%d)...", name, r.Parallelism())
+			start := time.Now()
+			rr, err := r.Speedups(config.Baseline32(), wls)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows[i] = rr
+			rep.Sweep = append(rep.Sweep, sweepResult{
+				Name:        name,
+				Parallelism: r.Parallelism(),
+				Seconds:     time.Since(start).Seconds(),
+			})
+		}
+		for i := range rows[0] { // parallel must reproduce sequential exactly
+			if rows[0][i].NormS1S2 != rows[1][i].NormS1S2 || rows[0][i].NormS1 != rows[1][i].NormS1 {
+				log.Fatalf("sequential/parallel mismatch on %s: %v vs %v",
+					rows[0][i].Workload.Name(), rows[0][i], rows[1][i])
+			}
+		}
+		rep.SweepSpeedup = rep.Sweep[0].Seconds / rep.Sweep[1].Seconds
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "-" {
+		log.Printf("wrote %s", *out)
+	}
+}
+
+// simCycleBench returns a benchmark body where one op is one simulated cycle
+// of the fully loaded system (mirrors BenchmarkSimCycle32Core).
+func simCycleBench(cfg config.Config, wid int, halve bool) func(b *testing.B) {
+	w, err := workload.Get(wid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if halve {
+		if w, err = w.Halve(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	apps, err := w.Profiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return func(b *testing.B) {
+		s, err := sim.New(cfg, apps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Step(20_000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		s.Step(int64(b.N))
+	}
+}
+
+// networkTickBench returns a benchmark body where one op is one tick of a
+// loaded 4x8 mesh (mirrors internal/noc's BenchmarkNetworkTick).
+func networkTickBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := config.Baseline32()
+		n, err := noc.New(cfg.Mesh, cfg.NoC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pool noc.PacketPool
+		for i := 0; i < n.Nodes(); i++ {
+			n.SetSink(i, func(p *noc.Packet, at int64) { pool.Put(p) })
+		}
+		nodes := n.Nodes()
+		inject := func(now int64) {
+			for src := 0; src < nodes; src++ {
+				if (now+int64(src))%16 != 0 {
+					continue
+				}
+				dst := nodes - 1 - src
+				if dst == src {
+					dst = (src + 1) % nodes
+				}
+				p := pool.Get()
+				p.Src, p.Dst, p.NumFlits = src, dst, 1
+				p.VNet, p.Priority = noc.VNetRequest, noc.Normal
+				if src%4 == 0 {
+					p.NumFlits = 5
+					p.VNet = noc.VNetResponse
+				}
+				if err := n.Inject(p, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		var now int64
+		for ; now < 4_000; now++ {
+			inject(now)
+			n.Tick(now)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inject(now)
+			n.Tick(now)
+			now++
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 
 	"nocmem/internal/config"
 	"nocmem/internal/exp"
+	"nocmem/internal/par"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		measure = flag.Int64("measure", 300_000, "measurement cycles")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		push    = flag.Int64("push", 20_000, "scheme-1 threshold push period (cycles)")
+		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -44,9 +47,10 @@ func main() {
 		MeasureCycles:       *measure,
 		Seed:                *seed,
 		ThresholdPushPeriod: *push,
+		Parallelism:         *jobs,
 	})
 	if !*quiet {
-		runner.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+		runner.SetProgress(func(format string, args ...any) { log.Printf(format, args...) })
 	}
 	cfg := config.Baseline32()
 
@@ -65,53 +69,94 @@ func main() {
 		return out
 	}()
 
-	for _, id := range ids {
+	runExp := func(id string, w io.Writer) error {
+		switch id {
+		case "table1":
+			exp.Table1(w, cfg)
+			return nil
+		case "table2":
+			exp.Table2(w)
+			return nil
+		case "fig4":
+			return runner.Fig4(w, cfg)
+		case "fig5":
+			return runner.Fig5(w, cfg)
+		case "fig6":
+			return runner.Fig6(w, cfg)
+		case "fig9":
+			return runner.Fig9(w, cfg)
+		case "fig11":
+			return runner.Fig11(w, cfg, allWorkloads)
+		case "fig12":
+			return runner.Fig12(w, cfg)
+		case "fig13":
+			return runner.Fig13(w, cfg)
+		case "fig14":
+			return runner.Fig14(w, cfg)
+		case "fig15":
+			return runner.Fig15(w, allWorkloads)
+		case "fig16a":
+			return runner.Fig16a(w, cfg, []float64{1.0, 1.2, 1.4})
+		case "fig16b":
+			return runner.Fig16b(w, cfg, []int64{1000, 2000, 4000})
+		case "fig16c":
+			return runner.Fig16c(w, cfg)
+		case "fig17":
+			return runner.Fig17(w, cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q (want one of %s)", id, strings.Join(all, " "))
+		}
+	}
+
+	emit := func(id string, buf *bytes.Buffer, took time.Duration) {
 		w, closeFn, err := output(*outDir, id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		switch id {
-		case "table1":
-			exp.Table1(w, cfg)
-		case "table2":
-			exp.Table2(w)
-		case "fig4":
-			err = runner.Fig4(w, cfg)
-		case "fig5":
-			err = runner.Fig5(w, cfg)
-		case "fig6":
-			err = runner.Fig6(w, cfg)
-		case "fig9":
-			err = runner.Fig9(w, cfg)
-		case "fig11":
-			err = runner.Fig11(w, cfg, allWorkloads)
-		case "fig12":
-			err = runner.Fig12(w, cfg)
-		case "fig13":
-			err = runner.Fig13(w, cfg)
-		case "fig14":
-			err = runner.Fig14(w, cfg)
-		case "fig15":
-			err = runner.Fig15(w, allWorkloads)
-		case "fig16a":
-			err = runner.Fig16a(w, cfg, []float64{1.0, 1.2, 1.4})
-		case "fig16b":
-			err = runner.Fig16b(w, cfg, []int64{1000, 2000, 4000})
-		case "fig16c":
-			err = runner.Fig16c(w, cfg)
-		case "fig17":
-			err = runner.Fig17(w, cfg)
-		default:
-			err = fmt.Errorf("unknown experiment %q (want one of %s)", id, strings.Join(all, " "))
-		}
-		closeFn()
-		if err != nil {
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+		closeFn()
 		if !*quiet {
-			log.Printf("%s done in %.1fs", id, time.Since(start).Seconds())
+			log.Printf("%s done in %.1fs", id, took.Seconds())
 		}
+	}
+
+	if runner.Parallelism() > 1 && len(ids) > 1 {
+		// Render every experiment concurrently into its own buffer; the
+		// shared runner's worker pool bounds the actual simulations, and
+		// its singleflight cache dedups runs shared across experiments.
+		// Outputs are emitted afterwards in the requested order, so the
+		// bytes written are identical to a sequential invocation.
+		bufs := make([]bytes.Buffer, len(ids))
+		tooks := make([]time.Duration, len(ids))
+		g := par.NewGroup(len(ids))
+		for i, id := range ids {
+			g.Go(func() error {
+				start := time.Now()
+				if err := runExp(id, &bufs[i]); err != nil {
+					return fmt.Errorf("%s: %v", id, err)
+				}
+				tooks[i] = time.Since(start)
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			log.Fatal(err)
+		}
+		for i, id := range ids {
+			emit(id, &bufs[i], tooks[i])
+		}
+		return
+	}
+
+	for _, id := range ids {
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := runExp(id, &buf); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		emit(id, &buf, time.Since(start))
 	}
 }
 

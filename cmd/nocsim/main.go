@@ -30,8 +30,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		verbose = flag.Bool("v", false, "per-application details")
 		jsonOut = flag.String("json", "", "write the scheme-1+2 run's summary as JSON to this file ('-' = stdout)")
+		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
+	nocmem.SetParallelism(*jobs)
 
 	var cfg nocmem.Config
 	switch *cores {

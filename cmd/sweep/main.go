@@ -19,6 +19,7 @@ import (
 
 	"nocmem"
 	"nocmem/internal/config"
+	"nocmem/internal/par"
 )
 
 func main() {
@@ -29,8 +30,10 @@ func main() {
 		wid     = flag.Int("workload", 7, "Table 2 workload id (1-18)")
 		warmup  = flag.Int64("warmup", 100_000, "warmup cycles")
 		measure = flag.Int64("measure", 300_000, "measurement cycles")
+		jobs    = flag.Int("j", 0, "max concurrent sweep points (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
+	nocmem.SetParallelism(*jobs)
 
 	w, err := nocmem.GetWorkload(*wid)
 	if err != nil {
@@ -123,30 +126,55 @@ func main() {
 	}
 
 	fmt.Printf("sweep %s on %s (%s)\n", *what, w.Name(), w.Category)
+
+	// Every sweep point is an independent pair of simulations, so points run
+	// concurrently on a bounded pool; rows are printed afterwards in sweep
+	// order. Each point's goroutine holds its pool slot for its whole body,
+	// so a point waiting on another point's memoized alone run never blocks
+	// the owner from progressing.
+	type row struct {
+		norm, netAvg, s1Pct, s2Pct float64
+	}
+	rows := make([]row, len(points))
+	g := par.NewGroup(nocmem.Parallelism())
+	for i, pt := range points {
+		g.Go(func() error {
+			// The base run differs when the sweep changes the substrate
+			// (MCs, pipeline, VCs, buffers), so recompute it per point.
+			baseRun, err := nocmem.RunWorkload(pt.cfg.WithSchemes(false, false), w)
+			if err != nil {
+				return err
+			}
+			baseWS, err := nocmem.WeightedSpeedup(pt.cfg, baseRun)
+			if err != nil {
+				return err
+			}
+			res, err := nocmem.RunWorkload(pt.cfg, w)
+			if err != nil {
+				return err
+			}
+			ws, err := nocmem.WeightedSpeedup(pt.cfg, res)
+			if err != nil {
+				return err
+			}
+			rows[i] = row{
+				norm:   ws / baseWS,
+				netAvg: res.Net.AvgLatency(),
+				s1Pct:  100 * float64(res.S1Tagged) / float64(res.S1Checked+1),
+				s2Pct:  100 * float64(res.S2Tagged) / float64(res.S2Checked+1),
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		log.Fatal(err)
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "point\tnormalized WS\tnet avg\ts1 tag%%\ts2 tag%%\n")
-	for _, pt := range points {
-		// The base run differs when the sweep changes the substrate
-		// (MCs, pipeline, VCs, buffers), so recompute it per point.
-		baseRun, err := nocmem.RunWorkload(pt.cfg.WithSchemes(false, false), w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		baseWS, err := nocmem.WeightedSpeedup(pt.cfg, baseRun)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := nocmem.RunWorkload(pt.cfg, w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ws, err := nocmem.WeightedSpeedup(pt.cfg, res)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, ws/baseWS, res.Net.AvgLatency(),
-			100*float64(res.S1Tagged)/float64(res.S1Checked+1),
-			100*float64(res.S2Tagged)/float64(res.S2Checked+1))
+	for i, pt := range points {
+		r := rows[i]
+		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, r.norm, r.netAvg, r.s1Pct, r.s2Pct)
 	}
 	tw.Flush()
 }

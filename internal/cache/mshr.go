@@ -15,6 +15,10 @@ type MSHR struct {
 type MSHRTable struct {
 	cap     int
 	entries map[uint64]*MSHR
+	// free recycles completed entries (and their Waiters backing arrays) so
+	// steady-state miss traffic allocates nothing. Not safe for concurrent
+	// use, like the table itself.
+	free []*MSHR
 }
 
 // NewMSHRTable returns a table with capacity for n outstanding lines.
@@ -38,7 +42,17 @@ func (t *MSHRTable) Allocate(lineAddr uint64, isWrite bool, waiter any) (primary
 	if len(t.entries) >= t.cap {
 		return false, false
 	}
-	t.entries[lineAddr] = &MSHR{LineAddr: lineAddr, Dirty: isWrite, Waiters: []any{waiter}}
+	var m *MSHR
+	if l := len(t.free); l > 0 {
+		m = t.free[l-1]
+		t.free[l-1] = nil
+		t.free = t.free[:l-1]
+		m.LineAddr, m.Dirty = lineAddr, isWrite
+		m.Waiters = append(m.Waiters, waiter)
+	} else {
+		m = &MSHR{LineAddr: lineAddr, Dirty: isWrite, Waiters: []any{waiter}}
+	}
+	t.entries[lineAddr] = m
 	return true, true
 }
 
@@ -51,6 +65,18 @@ func (t *MSHRTable) Complete(lineAddr uint64) (*MSHR, bool) {
 	}
 	delete(t.entries, lineAddr)
 	return m, true
+}
+
+// Release returns a completed entry to the table's free list. The caller
+// must be done with m and its Waiters; releasing an entry still in the
+// table, or twice, corrupts the free list.
+func (t *MSHRTable) Release(m *MSHR) {
+	for i := range m.Waiters {
+		m.Waiters[i] = nil
+	}
+	m.Waiters = m.Waiters[:0]
+	m.LineAddr, m.Dirty = 0, false
+	t.free = append(t.free, m)
 }
 
 // Pending reports whether a fetch of lineAddr is in flight.

@@ -1,0 +1,77 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeyEqualConfigsEqualKeys(t *testing.T) {
+	a, b := Baseline32(), Baseline32()
+	if a.Key() != b.Key() {
+		t.Fatalf("equal configs produced different keys:\n%s\n%s", a.Key(), b.Key())
+	}
+	a.NoC.ClockDivisors = map[int]int{3: 2, 7: 4}
+	b.NoC.ClockDivisors = map[int]int{7: 4, 3: 2}
+	if a.Key() != b.Key() {
+		t.Fatal("clock-divisor insertion order leaked into the key")
+	}
+	if Baseline32().Key() == Baseline16().Key() {
+		t.Fatal("Baseline32 and Baseline16 share a key")
+	}
+}
+
+// TestKeyDistinguishesEveryField walks the whole Config struct with
+// reflection, perturbs each leaf field one at a time, and requires the key to
+// change. This also guards future fields: adding a Config field without
+// extending Key fails here.
+func TestKeyDistinguishesEveryField(t *testing.T) {
+	base := Baseline32()
+	baseKey := base.Key()
+	seen := map[string]string{} // perturbed key -> field path, for collision reporting
+
+	var walk func(v reflect.Value, path string, root *Config)
+	walk = func(v reflect.Value, path string, root *Config) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				walk(v.Field(i), path+"."+v.Type().Field(i).Name, root)
+			}
+		case reflect.Map:
+			// ClockDivisors: adding an entry must change the key.
+			old := v.Interface().(map[int]int)
+			v.Set(reflect.ValueOf(map[int]int{1: 3}))
+			check(t, root, path+"[+entry]", baseKey, seen)
+			v.Set(reflect.ValueOf(old))
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+			check(t, root, path, baseKey, seen)
+			v.SetBool(!v.Bool())
+		case reflect.Int, reflect.Int64:
+			old := v.Int()
+			v.SetInt(old + 1)
+			check(t, root, path, baseKey, seen)
+			v.SetInt(old)
+		case reflect.Float64:
+			old := v.Float()
+			v.SetFloat(old + 0.125)
+			check(t, root, path, baseKey, seen)
+			v.SetFloat(old)
+		default:
+			t.Fatalf("config field %s has kind %s the key test cannot perturb; teach it and Key about it", path, v.Kind())
+		}
+	}
+	walk(reflect.ValueOf(&base).Elem(), "Config", &base)
+}
+
+func check(t *testing.T, c *Config, path, baseKey string, seen map[string]string) {
+	t.Helper()
+	k := c.Key()
+	if k == baseKey {
+		t.Errorf("perturbing %s did not change the key", path)
+		return
+	}
+	if prev, ok := seen[k]; ok {
+		t.Errorf("perturbing %s collides with perturbing %s", path, prev)
+	}
+	seen[k] = path
+}

@@ -63,6 +63,12 @@ type Core struct {
 	head  int
 	count int
 
+	// completeFns[slot] marks rob[slot] done; allocated once per slot at
+	// construction so issuing a memory access allocates no closure. A slot
+	// holds at most one in-flight access (it is reused only after commit,
+	// which requires done), so the callback is never outstanding twice.
+	completeFns []func(cycle int64)
+
 	memInFlight int
 
 	pending    trace.Instr
@@ -76,7 +82,17 @@ func New(id int, cfg config.CPU, src trace.Source, issue IssueFunc) *Core {
 	if src == nil || issue == nil {
 		panic(fmt.Sprintf("cpu: core %d missing instruction source or issue path", id))
 	}
-	return &Core{id: id, cfg: cfg, src: src, issue: issue, rob: make([]robEntry, cfg.WindowSize)}
+	c := &Core{id: id, cfg: cfg, src: src, issue: issue, rob: make([]robEntry, cfg.WindowSize)}
+	c.completeFns = make([]func(int64), cfg.WindowSize)
+	for slot := range c.completeFns {
+		e := &c.rob[slot]
+		c.completeFns[slot] = func(cycle int64) {
+			e.done = true
+			e.doneAt = cycle
+			c.memInFlight--
+		}
+	}
+	return c
 }
 
 // ID returns the core's tile index.
@@ -132,11 +148,7 @@ func (c *Core) fetch(now int64) {
 		}
 		e := &c.rob[slot]
 		*e = robEntry{isMem: true} // written before issue so a same-cycle completion is kept
-		accepted := c.issue(in.Addr, in.IsStore, func(cycle int64) {
-			e.done = true
-			e.doneAt = cycle
-			c.memInFlight--
-		})
+		accepted := c.issue(in.Addr, in.IsStore, c.completeFns[slot])
 		if !accepted {
 			c.stats.FetchStalls++
 			return

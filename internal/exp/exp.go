@@ -8,129 +8,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"nocmem/internal/config"
 	"nocmem/internal/sim"
 	"nocmem/internal/stats"
-	"nocmem/internal/trace"
 	"nocmem/internal/workload"
 )
-
-// Options scales the measurement protocol. The zero value selects the
-// defaults (100k warmup, 300k measurement — roughly 100x shorter than the
-// paper's windows, see DESIGN.md).
-type Options struct {
-	WarmupCycles  int64
-	MeasureCycles int64
-	Seed          int64
-	// ThresholdPushPeriod overrides the Scheme-1 update period (scaled
-	// from the paper's 1 ms to fit the shorter windows).
-	ThresholdPushPeriod int64
-}
-
-func (o Options) apply(cfg config.Config) config.Config {
-	cfg.Run.WarmupCycles = 100_000
-	cfg.Run.MeasureCycles = 300_000
-	cfg.S1.UpdatePeriod = 20_000
-	if o.WarmupCycles > 0 {
-		cfg.Run.WarmupCycles = o.WarmupCycles
-	}
-	if o.MeasureCycles > 0 {
-		cfg.Run.MeasureCycles = o.MeasureCycles
-	}
-	if o.Seed != 0 {
-		cfg.Run.Seed = o.Seed
-	}
-	if o.ThresholdPushPeriod > 0 {
-		cfg.S1.UpdatePeriod = o.ThresholdPushPeriod
-	}
-	return cfg
-}
-
-// Runner executes and caches simulation runs for one Options setting.
-type Runner struct {
-	opts Options
-
-	mu    sync.Mutex
-	runs  map[string]*sim.Result
-	alone map[string]float64
-
-	// Progress, if set, receives one line per fresh simulation run.
-	Progress func(format string, args ...any)
-}
-
-// NewRunner returns a runner with an empty cache.
-func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, runs: make(map[string]*sim.Result), alone: make(map[string]float64)}
-}
-
-func (r *Runner) logf(format string, args ...any) {
-	if r.Progress != nil {
-		r.Progress(format, args...)
-	}
-}
-
-func cfgKey(cfg config.Config) string { return fmt.Sprintf("%+v", cfg) }
-
-// run executes (or recalls) a full workload run.
-func (r *Runner) run(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
-	cfg = r.opts.apply(cfg)
-	key := cfgKey(cfg) + "|" + label
-	r.mu.Lock()
-	if res, ok := r.runs[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-	padded := make([]trace.Profile, cfg.Mesh.Nodes())
-	copy(padded, apps)
-	s, err := sim.New(cfg, padded)
-	if err != nil {
-		return nil, err
-	}
-	r.logf("running %s (mesh %dx%d, S1=%v S2=%v)...",
-		label, cfg.Mesh.Width, cfg.Mesh.Height, cfg.S1.Enabled, cfg.S2.Enabled)
-	res := s.Run()
-	r.mu.Lock()
-	r.runs[key] = res
-	r.mu.Unlock()
-	return res, nil
-}
-
-// runWorkload executes a Table 2 workload.
-func (r *Runner) runWorkload(cfg config.Config, w workload.Workload) (*sim.Result, error) {
-	apps, err := w.Profiles()
-	if err != nil {
-		return nil, err
-	}
-	return r.run(cfg, apps, w.Name())
-}
-
-// aloneIPC measures (and caches) one application's alone IPC on the
-// unprioritized system.
-func (r *Runner) aloneIPC(cfg config.Config, app trace.Profile) (float64, error) {
-	cfg = r.opts.apply(cfg.WithSchemes(false, false))
-	key := cfgKey(cfg) + "|alone|" + app.Name
-	r.mu.Lock()
-	if v, ok := r.alone[key]; ok {
-		r.mu.Unlock()
-		return v, nil
-	}
-	r.mu.Unlock()
-	res, err := r.run(cfg, []trace.Profile{app}, "alone-"+app.Name)
-	if err != nil {
-		return 0, err
-	}
-	ipc := res.IPC[0]
-	if ipc <= 0 {
-		return 0, fmt.Errorf("exp: alone IPC of %s is %v", app.Name, ipc)
-	}
-	r.mu.Lock()
-	r.alone[key] = ipc
-	r.mu.Unlock()
-	return ipc, nil
-}
 
 // weightedSpeedup computes WS for a finished run.
 func (r *Runner) weightedSpeedup(cfg config.Config, res *sim.Result) (float64, error) {
@@ -155,8 +38,26 @@ type SpeedupRow struct {
 }
 
 // Speedups measures the normalized weighted speedups of the given workloads
-// under a configuration (Figure 11 / 15 / 16 / 17 core loop).
+// under a configuration (Figure 11 / 15 / 16 / 17 core loop). With
+// Parallelism > 1 every run (workload x scheme, plus the alone-IPC runs) is
+// prefetched across the worker pool; assembly below is then served from the
+// cache, so the rows are identical to a sequential execution.
 func (r *Runner) Speedups(cfg config.Config, ws []workload.Workload) ([]SpeedupRow, error) {
+	var tasks []func() error
+	for _, w := range ws {
+		for _, s := range [][2]bool{{false, false}, {true, false}, {true, true}} {
+			tasks = append(tasks, r.runTask(cfg.WithSchemes(s[0], s[1]), w))
+		}
+		alone, err := r.aloneTasks(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, alone...)
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return nil, err
+	}
+
 	var rows []SpeedupRow
 	for _, w := range ws {
 		row := SpeedupRow{Workload: w}
@@ -384,6 +285,12 @@ func (r *Runner) Fig12(w io.Writer, cfg config.Config) error {
 	if err != nil {
 		return err
 	}
+	if err := r.prefetch([]func() error{
+		r.runTask(cfg.WithSchemes(false, false), wl),
+		r.runTask(cfg.WithSchemes(true, false), wl),
+	}); err != nil {
+		return err
+	}
 	base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
 	if err != nil {
 		return err
@@ -453,6 +360,12 @@ func (r *Runner) Fig13(w io.Writer, cfg config.Config) error {
 	if err != nil {
 		return err
 	}
+	if err := r.prefetch([]func() error{
+		r.runTask(cfg.WithSchemes(false, false), wl),
+		r.runTask(cfg.WithSchemes(false, true), wl),
+	}); err != nil {
+		return err
+	}
 	base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
 	if err != nil {
 		return err
@@ -473,6 +386,12 @@ func (r *Runner) Fig13(w io.Writer, cfg config.Config) error {
 func (r *Runner) Fig14(w io.Writer, cfg config.Config) error {
 	wl, err := workload.Get(1)
 	if err != nil {
+		return err
+	}
+	if err := r.prefetch([]func() error{
+		r.runTask(cfg.WithSchemes(false, false), wl),
+		r.runTask(cfg.WithSchemes(false, true), wl),
+	}); err != nil {
 		return err
 	}
 	base, err := r.runWorkload(cfg.WithSchemes(false, false), wl)
@@ -541,6 +460,28 @@ func (r *Runner) Fig15(w io.Writer, ids []int) error {
 
 // Fig16a prints the Scheme-1 threshold sensitivity (workloads 1-6).
 func (r *Runner) Fig16a(w io.Writer, cfg config.Config, factors []float64) error {
+	var tasks []func() error
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, r.runTask(cfg.WithSchemes(false, false), wl))
+		alone, err := r.aloneTasks(cfg, wl)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, alone...)
+		for _, f := range factors {
+			c := cfg.WithSchemes(true, false)
+			c.S1.ThresholdFactor = f
+			tasks = append(tasks, r.runTask(c, wl))
+		}
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "# Fig 16a: Scheme-1 threshold sensitivity (mixed workloads)\n")
 	fmt.Fprintf(w, "workload")
 	for _, f := range factors {
@@ -581,6 +522,28 @@ func (r *Runner) Fig16a(w io.Writer, cfg config.Config, factors []float64) error
 
 // Fig16b prints the Scheme-2 history-length sensitivity (workloads 1-6).
 func (r *Runner) Fig16b(w io.Writer, cfg config.Config, windows []int64) error {
+	var tasks []func() error
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, r.runTask(cfg.WithSchemes(false, false), wl))
+		alone, err := r.aloneTasks(cfg, wl)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, alone...)
+		for _, T := range windows {
+			c := cfg.WithSchemes(true, true)
+			c.S2.HistoryWindow = T
+			tasks = append(tasks, r.runTask(c, wl))
+		}
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "# Fig 16b: Scheme-2 history length T sensitivity (mixed workloads)\n")
 	fmt.Fprintf(w, "workload")
 	for _, T := range windows {
@@ -621,6 +584,29 @@ func (r *Runner) Fig16b(w io.Writer, cfg config.Config, windows []int64) error {
 
 // Fig16c prints the sensitivity to the number of memory controllers.
 func (r *Runner) Fig16c(w io.Writer, cfg config.Config) error {
+	var tasks []func() error
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		for _, mcs := range []int{2, 4} {
+			c := cfg
+			c.DRAM.Controllers = mcs
+			tasks = append(tasks,
+				r.runTask(c.WithSchemes(false, false), wl),
+				r.runTask(c.WithSchemes(true, true), wl))
+			alone, err := r.aloneTasks(c, wl)
+			if err != nil {
+				return err
+			}
+			tasks = append(tasks, alone...)
+		}
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "# Fig 16c: 2 vs 4 memory controllers, Scheme-1+2 (mixed workloads)\n")
 	fmt.Fprintf(w, "workload\t2mc\t4mc\n")
 	for id := 1; id <= 6; id++ {
@@ -657,6 +643,29 @@ func (r *Runner) Fig16c(w io.Writer, cfg config.Config) error {
 
 // Fig17 prints the router-pipeline sensitivity (5-stage vs 2-stage).
 func (r *Runner) Fig17(w io.Writer, cfg config.Config) error {
+	var tasks []func() error
+	for id := 1; id <= 6; id++ {
+		wl, err := workload.Get(id)
+		if err != nil {
+			return err
+		}
+		for _, p := range []config.RouterPipeline{config.Pipeline5, config.Pipeline2} {
+			c := cfg
+			c.NoC.Pipeline = p
+			tasks = append(tasks,
+				r.runTask(c.WithSchemes(false, false), wl),
+				r.runTask(c.WithSchemes(true, true), wl))
+			alone, err := r.aloneTasks(c, wl)
+			if err != nil {
+				return err
+			}
+			tasks = append(tasks, alone...)
+		}
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "# Fig 17: 5-stage vs 2-stage router pipelines, Scheme-1+2 (mixed workloads)\n")
 	fmt.Fprintf(w, "workload\t5stage\t2stage\n")
 	for id := 1; id <= 6; id++ {

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nocmem/internal/config"
+	"nocmem/internal/par"
+	"nocmem/internal/sim"
+	"nocmem/internal/trace"
+	"nocmem/internal/workload"
+)
+
+// Options scales the measurement protocol. The zero value selects the
+// defaults (100k warmup, 300k measurement — roughly 100x shorter than the
+// paper's windows, see DESIGN.md).
+type Options struct {
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          int64
+	// ThresholdPushPeriod overrides the Scheme-1 update period (scaled
+	// from the paper's 1 ms to fit the shorter windows).
+	ThresholdPushPeriod int64
+
+	// Parallelism bounds how many simulations the runner executes
+	// concurrently. 0 (the default) selects GOMAXPROCS; 1 forces the
+	// sequential path. Every simulation is an independent deterministic
+	// cycle loop, so results are bit-identical at any setting.
+	Parallelism int
+}
+
+func (o Options) apply(cfg config.Config) config.Config {
+	cfg.Run.WarmupCycles = 100_000
+	cfg.Run.MeasureCycles = 300_000
+	cfg.S1.UpdatePeriod = 20_000
+	if o.WarmupCycles > 0 {
+		cfg.Run.WarmupCycles = o.WarmupCycles
+	}
+	if o.MeasureCycles > 0 {
+		cfg.Run.MeasureCycles = o.MeasureCycles
+	}
+	if o.Seed != 0 {
+		cfg.Run.Seed = o.Seed
+	}
+	if o.ThresholdPushPeriod > 0 {
+		cfg.S1.UpdatePeriod = o.ThresholdPushPeriod
+	}
+	return cfg
+}
+
+// Runner executes and caches simulation runs for one Options setting.
+//
+// Concurrency model: a Runner is safe for concurrent use. Each simulation
+// run is keyed by (config, label); the first requester of a key computes it
+// and every concurrent or later requester waits for (or reuses) that single
+// result — singleflight semantics, so a run shared by several figures is
+// executed exactly once even when the figures are generated in parallel.
+// Actual simulation execution is gated by a worker semaphore of
+// Options.Parallelism slots; the figure helpers prefetch the runs they need
+// through that pool before assembling their output sequentially, which
+// keeps output bytes identical to a sequential execution.
+type Runner struct {
+	opts    Options
+	workers int
+	sem     chan struct{} // bounds concurrently executing simulations
+
+	mu   sync.Mutex
+	runs map[string]*runEntry
+
+	progMu   sync.Mutex
+	progress func(format string, args ...any)
+
+	// Progress, if set, receives one line per fresh simulation run.
+	//
+	// Deprecated direct assignment: use SetProgress, which may be called
+	// at any time; assigning Progress directly is only safe before the
+	// first run. Both funnel through one mutex so concurrent runs cannot
+	// interleave torn log lines.
+	Progress func(format string, args ...any)
+}
+
+// runEntry is one singleflight cache slot: done is closed when res/err are
+// final.
+type runEntry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// NewRunner returns a runner with an empty cache.
+func NewRunner(opts Options) *Runner {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:    opts,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		runs:    make(map[string]*runEntry),
+	}
+}
+
+// Parallelism returns the effective worker count.
+func (r *Runner) Parallelism() int { return r.workers }
+
+// SetProgress installs the progress sink (may be nil to silence).
+func (r *Runner) SetProgress(fn func(format string, args ...any)) {
+	r.progMu.Lock()
+	r.progress = fn
+	r.progMu.Unlock()
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	r.progMu.Lock()
+	fn := r.progress
+	if fn == nil {
+		fn = r.Progress
+	}
+	if fn != nil {
+		fn(format, args...)
+	}
+	r.progMu.Unlock()
+}
+
+// cfgKey returns the cache key of a fully-applied configuration.
+func cfgKey(cfg config.Config) string { return cfg.Key() }
+
+// run executes (or recalls, or waits for) a full workload run.
+func (r *Runner) run(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
+	cfg = r.opts.apply(cfg)
+	key := cfgKey(cfg) + "|" + label
+	r.mu.Lock()
+	if e, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	r.runs[key] = e
+	r.mu.Unlock()
+
+	e.res, e.err = r.execute(cfg, apps, label)
+	close(e.done)
+	return e.res, e.err
+}
+
+// execute performs one fresh simulation under the worker semaphore.
+func (r *Runner) execute(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	padded := make([]trace.Profile, cfg.Mesh.Nodes())
+	copy(padded, apps)
+	s, err := sim.New(cfg, padded)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("running %s (mesh %dx%d, S1=%v S2=%v)...",
+		label, cfg.Mesh.Width, cfg.Mesh.Height, cfg.S1.Enabled, cfg.S2.Enabled)
+	return s.Run(), nil
+}
+
+// runWorkload executes a Table 2 workload.
+func (r *Runner) runWorkload(cfg config.Config, w workload.Workload) (*sim.Result, error) {
+	apps, err := w.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	return r.run(cfg, apps, w.Name())
+}
+
+// aloneIPC measures (and caches) one application's alone IPC on the
+// unprioritized system. The underlying run is deduplicated by the
+// singleflight cache, so concurrent callers share one simulation.
+func (r *Runner) aloneIPC(cfg config.Config, app trace.Profile) (float64, error) {
+	res, err := r.run(cfg.WithSchemes(false, false), []trace.Profile{app}, "alone-"+app.Name)
+	if err != nil {
+		return 0, err
+	}
+	ipc := res.IPC[0]
+	if ipc <= 0 {
+		return 0, fmt.Errorf("exp: alone IPC of %s is %v", app.Name, ipc)
+	}
+	return ipc, nil
+}
+
+// --- Prefetching: the parallel execution engine ---
+
+// prefetch runs the given tasks concurrently on the worker pool and returns
+// the first error. With Parallelism <= 1 it is a no-op: the sequential
+// assembly code that follows performs exactly the original run sequence.
+func (r *Runner) prefetch(tasks []func() error) error {
+	if r.workers <= 1 || len(tasks) < 2 {
+		return nil
+	}
+	// The group may admit every task at once: the run semaphore (not the
+	// group) bounds how many simulations actually execute, and waiters of
+	// deduplicated runs park on a channel without holding a worker slot.
+	g := par.NewGroup(len(tasks))
+	for _, fn := range tasks {
+		g.Go(fn)
+	}
+	return g.Wait()
+}
+
+// runTask returns a prefetch task executing one workload run.
+func (r *Runner) runTask(cfg config.Config, w workload.Workload) func() error {
+	return func() error {
+		_, err := r.runWorkload(cfg, w)
+		return err
+	}
+}
+
+// aloneTasks returns prefetch tasks for the alone runs weightedSpeedup will
+// request for this workload under cfg (one per distinct application).
+func (r *Runner) aloneTasks(cfg config.Config, w workload.Workload) ([]func() error, error) {
+	apps, err := w.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	var tasks []func() error
+	seen := make(map[string]bool)
+	for _, a := range apps {
+		if a.Name == "" || seen[a.Name] {
+			continue
+		}
+		seen[a.Name] = true
+		app := a
+		tasks = append(tasks, func() error {
+			_, err := r.aloneIPC(cfg, app)
+			return err
+		})
+	}
+	return tasks, nil
+}

@@ -38,6 +38,27 @@ type Network struct {
 	sinks   []Sink
 	stats   Stats
 	pktSeq  uint64
+
+	// flitFree recycles flits (a packet's flits die at ejection, one
+	// packet's worth per delivery). The network is single-goroutine, so a
+	// plain free list suffices and keeps the router tick allocation-free
+	// in steady state.
+	flitFree []*flit
+}
+
+func (n *Network) getFlit() *flit {
+	if l := len(n.flitFree); l > 0 {
+		f := n.flitFree[l-1]
+		n.flitFree[l-1] = nil
+		n.flitFree = n.flitFree[:l-1]
+		return f
+	}
+	return &flit{}
+}
+
+func (n *Network) putFlit(f *flit) {
+	*f = flit{}
+	n.flitFree = append(n.flitFree, f)
 }
 
 // New builds the mesh. Sinks default to discarding packets; endpoints
@@ -131,19 +152,7 @@ func (n *Network) Inject(p *Packet, now int64) error {
 	r := n.routers[p.Src]
 	// The outbox is priority-ordered: endpoints inject expedited messages
 	// first (stable within a class, so normal traffic keeps FIFO order).
-	q := r.outbox[p.VNet]
-	if p.Priority == High {
-		i := len(q)
-		for i > 0 && q[i-1].Priority != High {
-			i--
-		}
-		q = append(q, nil)
-		copy(q[i+1:], q[i:])
-		q[i] = p
-	} else {
-		q = append(q, p)
-	}
-	r.outbox[p.VNet] = q
+	r.outbox[p.VNet].push(p)
 	n.stats.Injected++
 	n.stats.InFlight++
 	if p.Priority == High {

@@ -96,6 +96,75 @@ func (p *Packet) Validate(nodes int) error {
 	return nil
 }
 
+// PacketPool is a free list of Packets for allocation-free steady-state
+// simulation. It is NOT safe for concurrent use: each simulation instance
+// owns its pool and runs on a single goroutine (see docs/ARCHITECTURE.md,
+// "Concurrency model"), so no locking is needed on the hot path.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a retired one when available.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Put retires a packet. The caller must not retain references: every field
+// (including Payload) is cleared.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	*p = Packet{}
+	pp.free = append(pp.free, p)
+}
+
+// pktQueue is a FIFO of packets with O(1) amortized pop that keeps its
+// backing array, so a router outbox stops allocating once it reaches its
+// steady-state depth. Inject's priority insertion operates on the live
+// window q[head:].
+type pktQueue struct {
+	q    []*Packet
+	head int
+}
+
+func (pq *pktQueue) len() int { return len(pq.q) - pq.head }
+
+func (pq *pktQueue) front() *Packet { return pq.q[pq.head] }
+
+func (pq *pktQueue) pop() *Packet {
+	p := pq.q[pq.head]
+	pq.q[pq.head] = nil
+	pq.head++
+	if pq.head == len(pq.q) {
+		pq.q = pq.q[:0]
+		pq.head = 0
+	}
+	return p
+}
+
+// push appends p, placing high-priority packets ahead of every queued
+// normal-priority packet (stable within each class, preserving FIFO order).
+func (pq *pktQueue) push(p *Packet) {
+	if p.Priority == High {
+		i := len(pq.q)
+		for i > pq.head && pq.q[i-1].Priority != High {
+			i--
+		}
+		pq.q = append(pq.q, nil)
+		copy(pq.q[i+1:], pq.q[i:])
+		pq.q[i] = p
+		return
+	}
+	pq.q = append(pq.q, p)
+}
+
 // flit is one flow-control unit of a packet.
 type flit struct {
 	pkt  *Packet

@@ -124,7 +124,7 @@ type router struct {
 	arrivals [NumPorts][]arrival
 	credits  []creditMsg
 
-	outbox [NumVNets][]*Packet
+	outbox [NumVNets]pktQueue
 	inj    []injSlot // per local input VC
 
 	buffered  int // flits currently resident in input buffers
@@ -150,7 +150,7 @@ func (r *router) pendingArrivals() int {
 func (r *router) outboxLen() int {
 	n := 0
 	for v := range r.outbox {
-		n += len(r.outbox[v])
+		n += r.outbox[v].len()
 	}
 	return n
 }
@@ -293,9 +293,10 @@ func (r *router) processCredits(now int64) {
 func (r *router) acceptArrivals(now int64) {
 	for p := range r.arrivals {
 		q := r.arrivals[p]
-		for len(q) > 0 && q[0].at <= now {
-			a := q[0]
-			q = q[1:]
+		taken := 0
+		for taken < len(q) && q[taken].at <= now {
+			a := q[taken]
+			taken++
 			v := &r.in[p][a.vc]
 			if len(v.buf) >= r.net.cfg.BufferDepth {
 				panic(fmt.Sprintf("noc: router %d port %s vc %d buffer overflow (credit protocol violated)",
@@ -308,7 +309,13 @@ func (r *router) acceptArrivals(now int64) {
 				r.onNewFront(v, now)
 			}
 		}
-		r.arrivals[p] = q
+		if taken > 0 {
+			// Compact in place so the queue keeps its capacity: the
+			// neighbor appends here every cycle, and q = q[taken:]
+			// would force a fresh allocation on each append cycle.
+			rest := copy(q, q[taken:])
+			r.arrivals[p] = q[:rest]
+		}
 	}
 }
 
@@ -320,12 +327,11 @@ func (r *router) acceptArrivals(now int64) {
 func (r *router) fillInjections(now int64) {
 	for vn := VNet(0); vn < NumVNets; vn++ {
 		lo, hi := r.vnetRange(vn)
-		for vc := lo; vc < hi && len(r.outbox[vn]) > 0; vc++ {
+		for vc := lo; vc < hi && r.outbox[vn].len() > 0; vc++ {
 			if r.inj[vc].pkt != nil || len(r.in[PortLocal][vc].buf) >= r.net.cfg.BufferDepth {
 				continue
 			}
-			r.inj[vc] = injSlot{pkt: r.outbox[vn][0]}
-			r.outbox[vn] = r.outbox[vn][1:]
+			r.inj[vc] = injSlot{pkt: r.outbox[vn].pop()}
 			r.injecting++
 		}
 	}
@@ -339,7 +345,8 @@ func (r *router) fillInjections(now int64) {
 		if len(v.buf) >= r.net.cfg.BufferDepth {
 			continue
 		}
-		f := &flit{pkt: s.pkt, seq: s.next, tail: s.next == s.pkt.NumFlits-1, routerEntry: now}
+		f := r.net.getFlit()
+		*f = flit{pkt: s.pkt, seq: s.next, tail: s.next == s.pkt.NumFlits-1, routerEntry: now}
 		if f.header() {
 			// The wait for a free VC is part of the source router's
 			// residence time and must age the message (Equation 1).
@@ -529,7 +536,10 @@ func (r *router) saReady(v *inVC, f *flit, now int64) bool {
 func (r *router) dispatch(ref vcRef, now int64) {
 	v := r.vcAt(ref)
 	f := v.buf[0]
-	v.buf = v.buf[1:]
+	// Shift down instead of reslicing: the buffer is at most BufferDepth
+	// deep, and keeping its capacity makes the arrival append above
+	// allocation-free in steady state.
+	v.buf = v.buf[:copy(v.buf, v.buf[1:])]
 	r.buffered--
 	pkt := f.pkt
 
@@ -542,7 +552,8 @@ func (r *router) dispatch(ref vcRef, now int64) {
 	}
 
 	r.flitsOut[v.outPort]++
-	if v.outPort == PortLocal {
+	ejected := v.outPort == PortLocal
+	if ejected {
 		r.eject(f, now)
 	} else {
 		nb := r.neighbor[v.outPort]
@@ -566,6 +577,10 @@ func (r *router) dispatch(ref vcRef, now int64) {
 		v.routed = false
 		v.vaDone = false
 		v.adaptive = false
+	}
+	if ejected {
+		// The flit's life ends at the local sink; recycle it.
+		r.net.putFlit(f)
 	}
 	if len(v.buf) > 0 {
 		r.onNewFront(v, now)

@@ -1,0 +1,54 @@
+// Package par provides a minimal bounded parallel task group, the shared
+// concurrency primitive of the experiment engine: a Group runs tasks on at
+// most N goroutines and reports the first error. It is the stdlib-only
+// equivalent of errgroup.Group with a SetLimit.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Group runs tasks concurrently, at most limit at a time.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a group running at most limit tasks concurrently.
+// limit <= 0 selects GOMAXPROCS.
+func NewGroup(limit int) *Group {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Group{sem: make(chan struct{}, limit)}
+}
+
+// Go schedules one task. The task starts as soon as a worker slot frees.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.sem <- struct{}{}
+		defer func() { <-g.sem }()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task finished and returns the first
+// error any of them reported.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -1,0 +1,70 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupRunsEverything(t *testing.T) {
+	g := NewGroup(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	g := NewGroup(limit)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", peak.Load(), limit)
+	}
+}
+
+func TestGroupFirstError(t *testing.T) {
+	g := NewGroup(2)
+	want := errors.New("boom")
+	g.Go(func() error { return nil })
+	g.Go(func() error { return want })
+	g.Go(func() error { return errors.New("later") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("no error reported")
+	}
+}
+
+func TestGroupDefaultLimit(t *testing.T) {
+	g := NewGroup(0)
+	done := false
+	g.Go(func() error { done = true; return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("task did not run")
+	}
+}

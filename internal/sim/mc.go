@@ -20,6 +20,11 @@ type mcNode struct {
 	tile int
 	s    *Simulator
 	ctl  *dram.Controller
+
+	// reqFree recycles dram.Request+mcPayload pairs: the controller drops
+	// a request before invoking the completion callback, so complete is
+	// the final owner and can return it here. Single-goroutine.
+	reqFree []*dram.Request
 }
 
 func newMCNode(tile, ctlIdx int, s *Simulator) *mcNode {
@@ -28,17 +33,32 @@ func newMCNode(tile, ctlIdx int, s *Simulator) *mcNode {
 	return m
 }
 
+// getReq takes a zeroed request (with an attached zeroed payload) from the
+// free list, or allocates a fresh pair.
+func (m *mcNode) getReq() *dram.Request {
+	if l := len(m.reqFree); l > 0 {
+		r := m.reqFree[l-1]
+		m.reqFree[l-1] = nil
+		m.reqFree = m.reqFree[:l-1]
+		pl := r.Payload.(*mcPayload)
+		*pl = mcPayload{}
+		*r = dram.Request{Payload: pl}
+		return r
+	}
+	return &dram.Request{Payload: &mcPayload{}}
+}
+
 // accept turns a delivered packet into a DRAM request.
 func (m *mcNode) accept(it inItem, now int64) {
 	p := it.pkt
 	msg := p.Payload.(*message)
-	r := &dram.Request{
-		Addr:    msg.line,
-		IsWrite: msg.kind == msgWBL2toMC,
-		Bank:    m.s.amap.Bank(msg.line),
-		Row:     m.s.amap.Row(msg.line),
-		Payload: &mcPayload{txn: msg.txn, age: p.Age, arrival: it.at, respDst: p.Src},
-	}
+	r := m.getReq()
+	pl := r.Payload.(*mcPayload)
+	pl.txn, pl.age, pl.arrival, pl.respDst = msg.txn, p.Age, it.at, p.Src
+	r.Addr = msg.line
+	r.IsWrite = msg.kind == msgWBL2toMC
+	r.Bank = m.s.amap.Bank(msg.line)
+	r.Row = m.s.amap.Row(msg.line)
 	if msg.txn != nil {
 		r.Sensitive = m.s.pol.BasePriority(msg.txn.Core) == noc.High
 	}
@@ -56,6 +76,7 @@ func (m *mcNode) accept(it inItem, now int64) {
 // controller" (Section 3.1).
 func (m *mcNode) complete(r *dram.Request, now int64) {
 	if r.IsWrite {
+		m.reqFree = append(m.reqFree, r)
 		return
 	}
 	p := r.Payload.(*mcPayload)
@@ -66,10 +87,7 @@ func (m *mcNode) complete(r *dram.Request, now int64) {
 	m.s.col.soFar(t.Core, age)
 	pri := m.s.pol.ResponsePriority(t.Core, age) // Scheme-1 hook
 	t.RespPriority = pri
-	m.s.inject(&noc.Packet{
-		Src: m.tile, Dst: p.respDst, NumFlits: m.s.cfg.ResponseFlits(),
-		VNet: noc.VNetResponse, Priority: pri,
-		Age:     age,
-		Payload: &message{kind: msgRespMCtoL2, txn: t, line: t.Line},
-	}, now)
+	m.s.send(now, m.tile, p.respDst, m.s.cfg.ResponseFlits(),
+		noc.VNetResponse, pri, age, msgRespMCtoL2, t, t.Line)
+	m.reqFree = append(m.reqFree, r)
 }

@@ -14,10 +14,15 @@ type inItem struct {
 	at  int64
 }
 
-// action is a node-local scheduled callback.
+// action is node-local scheduled work: either a callback (fn != nil, used
+// for hit/store completions with the core's preallocated callbacks) or a
+// delayed L1->L2 request send carried as plain data (fn == nil), so the
+// miss path allocates no closure.
 type action struct {
-	at int64
-	fn func(now int64)
+	at   int64
+	fn   func(now int64)
+	txn  *Txn
+	line uint64
 }
 
 // l2Job is a request occupying the L2 bank pipeline, finishing at done.
@@ -81,11 +86,8 @@ func (n *node) backInvalidate(line uint64, now int64) {
 	delete(n.dir, line)
 	for tile := 0; mask != 0; tile++ {
 		if mask&1 != 0 {
-			n.s.inject(&noc.Packet{
-				Src: n.id, Dst: tile, NumFlits: n.s.cfg.RequestFlits(),
-				VNet: noc.VNetRequest, Priority: noc.Normal,
-				Payload: &message{kind: msgInvL2toL1, line: line},
-			}, now)
+			n.s.send(now, n.id, tile, n.s.cfg.RequestFlits(),
+				noc.VNetRequest, noc.Normal, 0, msgInvL2toL1, nil, line)
 			n.s.col.Invalidations++
 		}
 		mask >>= 1
@@ -100,9 +102,10 @@ func (n *node) deliver(p *noc.Packet, at int64) {
 // dispatchInbox routes delivered packets to the L2 bank, the memory
 // controller, or the L1 fill path.
 func (n *node) dispatchInbox(now int64) {
-	for len(n.inbox) > 0 && n.inbox[0].at <= now {
-		it := n.inbox[0]
-		n.inbox = n.inbox[1:]
+	taken := 0
+	for taken < len(n.inbox) && n.inbox[taken].at <= now {
+		it := n.inbox[taken]
+		taken++
 		m := it.pkt.Payload.(*message)
 		switch m.kind {
 		case msgReqL1toL2, msgWBL1toL2, msgRespMCtoL2:
@@ -117,21 +120,27 @@ func (n *node) dispatchInbox(now int64) {
 				panic(fmt.Sprintf("sim: tile %d received %v but hosts no memory controller", n.id, m.kind))
 			}
 			mc.accept(it, now)
+			n.s.recycle(it.pkt)
 		case msgRespL2toL1:
 			n.fillL1(it, now)
+			n.s.recycle(it.pkt)
 		case msgInvL2toL1:
 			// Inclusive-L2 back-invalidation: drop the L1 copy; a
 			// dirty copy goes straight to memory (its L2 home is gone).
 			if n.l1.Invalidate(m.line) {
-				n.s.inject(&noc.Packet{
-					Src: n.id, Dst: n.s.mcTileOf(m.line), NumFlits: n.s.cfg.ResponseFlits(),
-					VNet: noc.VNetRequest, Priority: noc.Normal,
-					Payload: &message{kind: msgWBL2toMC, line: m.line},
-				}, now)
+				n.s.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.ResponseFlits(),
+					noc.VNetRequest, noc.Normal, 0, msgWBL2toMC, nil, m.line)
 			}
+			n.s.recycle(it.pkt)
 		default:
 			panic(fmt.Sprintf("sim: tile %d cannot handle message kind %v", n.id, m.kind))
 		}
+	}
+	if taken > 0 {
+		// Compact in place, keeping the inbox's capacity (see the same
+		// pattern on the router arrival queues).
+		rest := copy(n.inbox, n.inbox[taken:])
+		n.inbox = n.inbox[:rest]
 	}
 }
 
@@ -139,14 +148,21 @@ func (n *node) dispatchInbox(now int64) {
 // request per cycle.
 func (n *node) tickL2(now int64) {
 	// Finish jobs in completion order (the pipeline preserves it).
-	for len(n.l2Busy) > 0 && n.l2Busy[0].done <= now {
-		job := n.l2Busy[0]
-		n.l2Busy = n.l2Busy[1:]
+	// finishL2 may re-append a job on MSHR exhaustion, but always with
+	// done = now+1, so the scan below never reaches re-appended work and
+	// the queue can be compacted in place afterwards.
+	finished := 0
+	for finished < len(n.l2Busy) && n.l2Busy[finished].done <= now {
+		job := n.l2Busy[finished]
+		finished++
 		n.finishL2(job.it, now)
+	}
+	if finished > 0 {
+		n.l2Busy = n.l2Busy[:copy(n.l2Busy, n.l2Busy[finished:])]
 	}
 	if len(n.l2Queue) > 0 && n.l2Queue[0].at <= now {
 		it := n.l2Queue[0]
-		n.l2Queue = n.l2Queue[1:]
+		n.l2Queue = n.l2Queue[:copy(n.l2Queue, n.l2Queue[1:])]
 		n.l2Busy = append(n.l2Busy, l2Job{it: it, done: now + n.s.cfg.L2.Latency})
 	}
 }
@@ -160,6 +176,7 @@ func (n *node) finishL2(it inItem, now int64) {
 		if n.l2.Access(n.s.snuca.Local(m.line), false) {
 			n.dirAdd(m.line, t.Core)
 			n.respondToCore(t, t.AgeAtL2+(now-t.ReqAtL2), n.s.pol.BasePriority(t.Core), now)
+			n.s.recycle(it.pkt)
 			return
 		}
 		n.missToMemory(it, now)
@@ -168,12 +185,10 @@ func (n *node) finishL2(it inItem, now int64) {
 		if !n.l2.WritebackHit(n.s.snuca.Local(m.line)) {
 			// The line raced an L2 eviction (its back-invalidation is
 			// in flight toward us): forward the data to memory.
-			n.s.inject(&noc.Packet{
-				Src: n.id, Dst: n.s.mcTileOf(m.line), NumFlits: n.s.cfg.ResponseFlits(),
-				VNet: noc.VNetRequest, Priority: noc.Normal,
-				Payload: &message{kind: msgWBL2toMC, line: m.line},
-			}, now)
+			n.s.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.ResponseFlits(),
+				noc.VNetRequest, noc.Normal, 0, msgWBL2toMC, nil, m.line)
 		}
+		n.s.recycle(it.pkt)
 
 	case msgRespMCtoL2:
 		t := m.txn
@@ -181,11 +196,8 @@ func (n *node) finishL2(it inItem, now int64) {
 			victim := n.s.snuca.Global(v.Addr, n.id)
 			n.backInvalidate(victim, now)
 			if v.Dirty {
-				n.s.inject(&noc.Packet{
-					Src: n.id, Dst: n.s.mcTileOf(victim), NumFlits: n.s.cfg.ResponseFlits(),
-					VNet: noc.VNetRequest, Priority: noc.Normal,
-					Payload: &message{kind: msgWBL2toMC, line: victim},
-				}, now)
+				n.s.send(now, n.id, n.s.mcTileOf(victim), n.s.cfg.ResponseFlits(),
+					noc.VNetRequest, noc.Normal, 0, msgWBL2toMC, nil, victim)
 			}
 		}
 		mshr, ok := n.l2m.Complete(m.line)
@@ -204,6 +216,8 @@ func (n *node) finishL2(it inItem, now int64) {
 			// (Figure 8: both return paths are expedited).
 			n.respondToCore(wt, it.pkt.Age+(now-it.at), it.pkt.Priority, now)
 		}
+		n.l2m.Release(mshr)
+		n.s.recycle(it.pkt)
 
 	default:
 		panic(fmt.Sprintf("sim: L2 bank %d cannot finish %v", n.id, m.kind))
@@ -211,7 +225,8 @@ func (n *node) finishL2(it inItem, now int64) {
 }
 
 // missToMemory turns an L2 demand miss into an off-chip request, retrying
-// next cycle when the bank's MSHRs are exhausted.
+// next cycle when the bank's MSHRs are exhausted. It owns the request
+// packet: recycled on every path except the retry, which keeps it queued.
 func (n *node) missToMemory(it inItem, now int64) {
 	m := it.pkt.Payload.(*message)
 	t := m.txn
@@ -221,27 +236,21 @@ func (n *node) missToMemory(it inItem, now int64) {
 		return
 	}
 	if !primary {
+		n.s.recycle(it.pkt)
 		return // coalesced onto an in-flight fetch
 	}
 	bank := n.s.amap.GlobalBank(m.line)
 	pri := n.s.pol.RequestPriority(n.id, bank, t.Core, now) // Scheme-2 + app-aware hook
-	n.s.inject(&noc.Packet{
-		Src: n.id, Dst: n.s.mcTileOf(m.line), NumFlits: n.s.cfg.RequestFlits(),
-		VNet: noc.VNetRequest, Priority: pri,
-		Age:     t.AgeAtL2 + (now - t.ReqAtL2),
-		Payload: &message{kind: msgReqL2toMC, txn: t, line: m.line},
-	}, now)
+	n.s.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.RequestFlits(),
+		noc.VNetRequest, pri, t.AgeAtL2+(now-t.ReqAtL2), msgReqL2toMC, t, m.line)
+	n.s.recycle(it.pkt)
 }
 
 // respondToCore sends the data response for one transaction back to its
 // requesting tile.
 func (n *node) respondToCore(t *Txn, age int64, pri noc.Priority, now int64) {
-	n.s.inject(&noc.Packet{
-		Src: n.id, Dst: t.Core, NumFlits: n.s.cfg.ResponseFlits(),
-		VNet: noc.VNetResponse, Priority: pri,
-		Age:     age,
-		Payload: &message{kind: msgRespL2toL1, txn: t, line: t.Line},
-	}, now)
+	n.s.send(now, n.id, t.Core, n.s.cfg.ResponseFlits(),
+		noc.VNetResponse, pri, age, msgRespL2toL1, t, t.Line)
 }
 
 // fillL1 completes a demand transaction at the requesting tile.
@@ -253,15 +262,13 @@ func (n *node) fillL1(it inItem, now int64) {
 		panic(fmt.Sprintf("sim: tile %d L1 fill for line %#x without an MSHR", n.id, m.line))
 	}
 	if v, evicted := n.l1.Fill(m.line, mshr.Dirty); evicted && v.Dirty {
-		n.s.inject(&noc.Packet{
-			Src: n.id, Dst: n.s.snuca.Bank(v.Addr), NumFlits: n.s.cfg.ResponseFlits(),
-			VNet: noc.VNetRequest, Priority: noc.Normal,
-			Payload: &message{kind: msgWBL1toL2, line: v.Addr},
-		}, now)
+		n.s.send(now, n.id, n.s.snuca.Bank(v.Addr), n.s.cfg.ResponseFlits(),
+			noc.VNetRequest, noc.Normal, 0, msgWBL1toL2, nil, v.Addr)
 	}
 	for _, w := range mshr.Waiters {
 		w.(func(int64))(now)
 	}
+	n.l1m.Release(mshr)
 	t.Done = now
 	n.s.col.done(t)
 	if t.OffChip {
@@ -310,14 +317,14 @@ func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
 	n.s.txnSeq++
 	t := &Txn{ID: n.s.txnSeq, Core: n.id, Line: line, Store: isWrite, Birth: now}
 	// The request leaves for the L2 bank after the L1 lookup latency.
-	n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, fn: func(at int64) {
-		n.s.inject(&noc.Packet{
-			Src: n.id, Dst: n.s.snuca.Bank(line), NumFlits: n.s.cfg.RequestFlits(),
-			VNet: noc.VNetRequest, Priority: n.s.pol.BasePriority(n.id),
-			Payload: &message{kind: msgReqL1toL2, txn: t, line: line},
-		}, at)
-	}})
+	n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, txn: t, line: line})
 	return true
+}
+
+// sendL1Request fires a delayed miss request (the fn == nil action form).
+func (n *node) sendL1Request(t *Txn, line uint64, at int64) {
+	n.s.send(at, n.id, n.s.snuca.Bank(line), n.s.cfg.RequestFlits(),
+		noc.VNetRequest, n.s.pol.BasePriority(n.id), 0, msgReqL1toL2, t, line)
 }
 
 // tickCore runs delayed L1 work and the core itself.
@@ -325,10 +332,13 @@ func (n *node) tickCore(now int64) {
 	if len(n.delayed) > 0 {
 		kept := n.delayed[:0]
 		for _, a := range n.delayed {
-			if a.at <= now {
-				a.fn(now)
-			} else {
+			switch {
+			case a.at > now:
 				kept = append(kept, a)
+			case a.fn != nil:
+				a.fn(now)
+			default:
+				n.sendL1Request(a.txn, a.line, now)
 			}
 		}
 		n.delayed = kept

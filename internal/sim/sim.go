@@ -18,11 +18,12 @@ type Simulator struct {
 	cfg  config.Config
 	apps []trace.Profile
 
-	net   *noc.Network
-	pol   *core.Policy
-	nodes []*node
-	mcs   []*mcNode
-	mcAt  map[int]*mcNode
+	net     *noc.Network
+	pol     *core.Policy
+	nodes   []*node
+	mcs     []*mcNode
+	mcAt    map[int]*mcNode
+	mcTiles []int // cfg.MCNodes(), cached: the accessor builds a fresh slice
 
 	amap  dram.AddrMap
 	snuca cache.SNUCA
@@ -30,6 +31,13 @@ type Simulator struct {
 	now    int64
 	txnSeq uint64
 	col    *Collector
+
+	// Packet/message free lists: protocol messages are born at an inject
+	// site and die at exactly one consumption point (see recycle), so the
+	// steady-state cycle loop allocates neither. Single-goroutine, like
+	// the rest of the simulator instance.
+	pkts    noc.PacketPool
+	msgFree []*message
 
 	idleSeries []*stats.Series
 }
@@ -120,7 +128,8 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 		}
 		s.pol.App = core.NewAppAware(mpki, active)
 	}
-	for ctlIdx, tile := range cfg.MCNodes() {
+	s.mcTiles = cfg.MCNodes()
+	for ctlIdx, tile := range s.mcTiles {
 		mc := newMCNode(tile, ctlIdx, s)
 		series := stats.NewSeries(10_000)
 		mc.ctl.SetIdleSeries(func(cycle int64, avg float64) { series.Add(cycle, avg) })
@@ -169,9 +178,39 @@ func (s *Simulator) inject(p *noc.Packet, now int64) {
 	}
 }
 
+// send builds a pooled packet carrying a pooled protocol message and injects
+// it. Every send has exactly one matching recycle at the packet's
+// consumption point.
+func (s *Simulator) send(now int64, src, dst, flits int, vn noc.VNet, pri noc.Priority, age int64, kind msgKind, t *Txn, line uint64) {
+	var m *message
+	if l := len(s.msgFree); l > 0 {
+		m = s.msgFree[l-1]
+		s.msgFree[l-1] = nil
+		s.msgFree = s.msgFree[:l-1]
+	} else {
+		m = &message{}
+	}
+	m.kind, m.txn, m.line = kind, t, line
+	p := s.pkts.Get()
+	p.Src, p.Dst, p.NumFlits = src, dst, flits
+	p.VNet, p.Priority, p.Age = vn, pri, age
+	p.Payload = m
+	s.inject(p, now)
+}
+
+// recycle retires a fully-consumed packet and its message. The caller must
+// be the packet's final reader.
+func (s *Simulator) recycle(p *noc.Packet) {
+	if m, ok := p.Payload.(*message); ok {
+		*m = message{}
+		s.msgFree = append(s.msgFree, m)
+	}
+	s.pkts.Put(p)
+}
+
 // mcTileOf returns the tile hosting the memory controller owning addr.
 func (s *Simulator) mcTileOf(addr uint64) int {
-	return s.cfg.MCNodes()[s.amap.Controller(addr)]
+	return s.mcTiles[s.amap.Controller(addr)]
 }
 
 // Step advances the whole system by the given number of cycles.

@@ -19,9 +19,11 @@ package nocmem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"nocmem/internal/config"
+	"nocmem/internal/par"
 	"nocmem/internal/sim"
 	"nocmem/internal/stats"
 	"nocmem/internal/trace"
@@ -133,34 +135,74 @@ func RunApps(cfg Config, apps []Profile) (*Result, error) {
 	return s.Run(), nil
 }
 
+// parallelism is the worker-pool width of the facade's parallel helpers
+// (SpeedupFor and the alone-IPC prefetching). Default: GOMAXPROCS.
+var (
+	parMu       sync.Mutex
+	parallelism = runtime.GOMAXPROCS(0)
+)
+
+// SetParallelism bounds how many simulations the package-level helpers run
+// concurrently. n <= 0 restores the default (GOMAXPROCS); n == 1 forces
+// fully sequential execution. Each simulation is an independent
+// deterministic cycle loop, so results are identical at any setting.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parMu.Lock()
+	parallelism = n
+	parMu.Unlock()
+}
+
+// Parallelism returns the current worker-pool width.
+func Parallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parallelism
+}
+
 // aloneCache memoizes alone-run IPCs per (config, application); the alone
 // IPC of an application is independent of its co-runners and of the
 // schemes (alone runs always use the unprioritized baseline, matching the
-// paper's IPC_alone definition).
-var aloneCache sync.Map // string -> float64
+// paper's IPC_alone definition). Entries are singleflight slots so
+// concurrent callers of the same (config, app) share one simulation.
+var aloneCache sync.Map // string -> *aloneEntry
+
+type aloneEntry struct {
+	done chan struct{}
+	ipc  float64
+	err  error
+}
 
 func aloneKey(cfg Config, name string) string {
-	cfg = cfg.WithSchemes(false, false)
-	return fmt.Sprintf("%+v|%s", cfg, name)
+	return cfg.WithSchemes(false, false).Key() + "|" + name
 }
 
 // AloneIPC returns the application's IPC when it runs alone on the system
 // (tile 0), used as the denominator of weighted speedup. Results are
-// memoized per configuration.
+// memoized per configuration; concurrent callers of the same point wait
+// for (and share) the first caller's run.
 func AloneIPC(cfg Config, app Profile) (float64, error) {
 	key := aloneKey(cfg, app.Name)
-	if v, ok := aloneCache.Load(key); ok {
-		return v.(float64), nil
+	e := &aloneEntry{done: make(chan struct{})}
+	if prev, loaded := aloneCache.LoadOrStore(key, e); loaded {
+		pe := prev.(*aloneEntry)
+		<-pe.done
+		return pe.ipc, pe.err
 	}
+	defer close(e.done)
 	r, err := RunApps(cfg.WithSchemes(false, false), []Profile{app})
 	if err != nil {
+		e.err = err
 		return 0, err
 	}
 	ipc := r.IPC[0]
 	if ipc <= 0 {
-		return 0, fmt.Errorf("nocmem: alone IPC of %s is %v", app.Name, ipc)
+		e.err = fmt.Errorf("nocmem: alone IPC of %s is %v", app.Name, ipc)
+		return 0, e.err
 	}
-	aloneCache.Store(key, ipc)
+	e.ipc = ipc
 	return ipc, nil
 }
 
@@ -216,7 +258,9 @@ type SpeedupRow struct {
 }
 
 // SpeedupFor runs one workload under base, Scheme-1, and Scheme-1+2, and
-// returns the normalized weighted speedups of Figure 11.
+// returns the normalized weighted speedups of Figure 11. The three shared
+// runs and the workload's alone runs are independent simulations; when
+// SetParallelism allows, they execute concurrently on a bounded pool.
 func SpeedupFor(cfg Config, w Workload) (SpeedupRow, error) {
 	row := SpeedupRow{Workload: w}
 	type variant struct {
@@ -224,21 +268,61 @@ func SpeedupFor(cfg Config, w Workload) (SpeedupRow, error) {
 		ws     *float64
 		res    **Result
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{false, false, &row.BaseWS, &row.Base},
 		{true, false, &row.S1WS, &row.S1},
 		{true, true, &row.S1S2WS, &row.S1S2},
-	} {
-		r, err := RunWorkload(cfg.WithSchemes(v.s1, v.s2), w)
-		if err != nil {
+	}
+	if workers := Parallelism(); workers > 1 {
+		results := make([]*Result, len(variants))
+		g := par.NewGroup(workers)
+		for i, v := range variants {
+			g.Go(func() error {
+				r, err := RunWorkload(cfg.WithSchemes(v.s1, v.s2), w)
+				results[i] = r
+				return err
+			})
+		}
+		// Warm the alone-IPC cache concurrently. Dedupe by name so no two
+		// tasks of this group contend on the same singleflight slot (a
+		// waiter would hold a pool slot its owner might still need).
+		if apps, err := w.Profiles(); err == nil {
+			seen := make(map[string]bool)
+			for _, a := range apps {
+				if a.Name == "" || seen[a.Name] {
+					continue
+				}
+				seen[a.Name] = true
+				g.Go(func() error {
+					_, err := AloneIPC(cfg, a)
+					return err
+				})
+			}
+		}
+		if err := g.Wait(); err != nil {
 			return row, err
 		}
-		ws, err := WeightedSpeedup(cfg, r)
-		if err != nil {
-			return row, err
+		for i, v := range variants {
+			ws, err := WeightedSpeedup(cfg, results[i]) // alone IPCs now cached
+			if err != nil {
+				return row, err
+			}
+			*v.ws = ws
+			*v.res = results[i]
 		}
-		*v.ws = ws
-		*v.res = r
+	} else {
+		for _, v := range variants {
+			r, err := RunWorkload(cfg.WithSchemes(v.s1, v.s2), w)
+			if err != nil {
+				return row, err
+			}
+			ws, err := WeightedSpeedup(cfg, r)
+			if err != nil {
+				return row, err
+			}
+			*v.ws = ws
+			*v.res = r
+		}
 	}
 	var err error
 	if row.NormS1, err = stats.NormalizedSpeedup(row.S1WS, row.BaseWS); err != nil {
