@@ -1,7 +1,7 @@
 # Developer entry points. `make ci` is the gate run before every commit:
 # vet, build, the full test suite under the race detector, and a smoke run
-# of the perf harness (micro-benchmarks only; the full harness writing
-# BENCH_1.json is `make bench`).
+# of the perf harness (micro-benchmarks only, regression-gated; the full
+# harness writing BENCH_2.json is `make bench`).
 
 GO ?= go
 
@@ -21,13 +21,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full perf-regression harness: micro-benchmarks + sequential-vs-parallel
-# figure sweep, written to BENCH_1.json for before/after comparison.
+# Full perf-regression harness: micro-benchmarks, dense-vs-event stepper
+# comparison, and the sequential-vs-parallel figure sweep, written to
+# BENCH_2.json for before/after comparison.
 bench:
 	$(GO) run ./cmd/bench
 
-# Quick harness pass with small windows; micro numbers only, to stdout.
+# Quick harness pass with small windows, gated against the committed PR-1
+# report: fails if any micro benchmark allocates more per op than recorded
+# there, or if the 32-core cycle loop runs more than 20% slower.
 bench-smoke:
-	$(GO) run ./cmd/bench -quick -skip-sweep -out -
+	$(GO) run ./cmd/bench -quick -skip-sweep -out - -check BENCH_1.json
 
 ci: vet build race bench-smoke

@@ -3,7 +3,9 @@
 //
 //   - the simulator's hot-path micro-benchmarks (ns per simulated cycle and
 //     allocs per cycle for the 32- and 16-core systems, and per network tick
-//     of a loaded mesh), and
+//     of a loaded mesh),
+//   - the event-driven stepper against the dense reference stepper on an
+//     idle-heavy (alone run), a mixed and a saturated workload, and
 //   - the wall time of a Figure-11 style sweep (three workloads, three
 //     systems each, plus alone runs) executed sequentially and on the
 //     runner's parallel worker pool,
@@ -12,15 +14,17 @@
 //
 // Usage:
 //
-//	bench                     # full harness -> BENCH_1.json
+//	bench                     # full harness -> BENCH_2.json
 //	bench -out -              # JSON to stdout
 //	bench -quick              # smaller op counts (CI smoke)
-//	bench -skip-sweep         # micro-benchmarks only
+//	bench -skip-sweep         # micro + stepper benchmarks only
+//	bench -check BENCH_1.json # fail on regression vs a stored report
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"runtime"
@@ -31,6 +35,7 @@ import (
 	"nocmem/internal/exp"
 	"nocmem/internal/noc"
 	"nocmem/internal/sim"
+	"nocmem/internal/trace"
 	"nocmem/internal/workload"
 )
 
@@ -42,6 +47,18 @@ type microResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// stepperResult compares the event-driven scheduler against the dense
+// reference stepper on one workload. Their results are byte-identical (see
+// internal/sim's TestEventDenseEquivalence); this measures only speed.
+type stepperResult struct {
+	Name     string  `json:"name"`
+	DenseNs  float64 `json:"dense_ns_per_cycle"`
+	EventNs  float64 `json:"event_ns_per_cycle"`
+	Speedup  float64 `json:"speedup"`
+	DenseOps int     `json:"dense_ops"`
+	EventOps int     `json:"event_ops"`
+}
+
 type sweepResult struct {
 	Name        string  `json:"name"`
 	Parallelism int     `json:"parallelism"`
@@ -49,33 +66,39 @@ type sweepResult struct {
 }
 
 type report struct {
-	GoVersion  string        `json:"go_version"`
-	NumCPU     int           `json:"num_cpu"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Baseline   []microResult `json:"baseline"`
-	Micro      []microResult `json:"micro"`
-	Sweep      []sweepResult `json:"sweep,omitempty"`
-	// SweepSpeedup is sequential seconds / parallel seconds. On a
-	// single-CPU host this hovers around 1.0 by construction.
-	SweepSpeedup float64 `json:"sweep_speedup,omitempty"`
+	GoVersion  string          `json:"go_version"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Baseline   []microResult   `json:"baseline"`
+	Micro      []microResult   `json:"micro"`
+	Stepper    []stepperResult `json:"stepper,omitempty"`
+	Sweep      []sweepResult   `json:"sweep,omitempty"`
+	// SweepSpeedup is sequential seconds / parallel seconds. It only
+	// measures parallelism when the worker pool actually has more than one
+	// worker; SweepSpeedupValid records whether it does, so a ~1.0 ratio on
+	// a single-CPU host is not misread as a parallelization regression.
+	SweepSpeedup      float64 `json:"sweep_speedup,omitempty"`
+	SweepSpeedupValid bool    `json:"sweep_speedup_valid"`
+	SweepSpeedupNote  string  `json:"sweep_speedup_note,omitempty"`
 }
 
 // baseline is the fixed "before" reference: the same micro-benchmarks
-// measured at the growth seed (commit ba88191, before the allocation diet
-// and free lists), via `go test -bench SimCycle -benchmem -benchtime
-// 100000x` on a single-CPU Xeon @ 2.70GHz container.
+// measured at the previous PR (BENCH_1.json: dense stepper after the
+// allocation diet and free lists) on a single-CPU Xeon @ 2.70GHz container.
 var baseline = []microResult{
-	{Name: "sim_cycle_32core", Ops: 100_000, NsPerOp: 45375, BytesPerOp: 4520, AllocsPerOp: 105},
-	{Name: "sim_cycle_16core", Ops: 100_000, NsPerOp: 36336, BytesPerOp: 2393, AllocsPerOp: 56},
+	{Name: "sim_cycle_32core", Ops: 42_744, NsPerOp: 27552.93, BytesPerOp: 225, AllocsPerOp: 1},
+	{Name: "sim_cycle_16core", Ops: 85_467, NsPerOp: 13896.34, BytesPerOp: 121, AllocsPerOp: 0},
+	{Name: "network_tick_4x8", Ops: 209_212, NsPerOp: 5559.83, BytesPerOp: 0, AllocsPerOp: 0},
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out       = flag.String("out", "BENCH_1.json", "output file ('-' = stdout)")
+		out       = flag.String("out", "BENCH_2.json", "output file ('-' = stdout)")
 		quick     = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
-		skipSweep = flag.Bool("skip-sweep", false, "micro-benchmarks only")
+		skipSweep = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
+		check     = flag.String("check", "", "stored report to gate against (fail on alloc or >20% ns/op regression)")
 	)
 	flag.Parse()
 
@@ -108,54 +131,10 @@ func main() {
 		})
 	}
 
+	rep.Stepper = stepperBenches(*quick)
+
 	if !*skipSweep {
-		opts := exp.Options{
-			WarmupCycles:        20_000,
-			MeasureCycles:       60_000,
-			Seed:                1,
-			ThresholdPushPeriod: 5_000,
-		}
-		if *quick {
-			opts.WarmupCycles, opts.MeasureCycles = 5_000, 15_000
-			opts.ThresholdPushPeriod = 2_000
-		}
-		var wls []workload.Workload
-		for _, id := range []int{1, 7, 13} {
-			w, err := workload.Get(id)
-			if err != nil {
-				log.Fatal(err)
-			}
-			wls = append(wls, w)
-		}
-		var rows [2][]exp.SpeedupRow
-		for i, par := range []int{1, 0} { // 0 = GOMAXPROCS
-			o := opts
-			o.Parallelism = par
-			r := exp.NewRunner(o)
-			name := "fig11_sweep_sequential"
-			if par != 1 {
-				name = "fig11_sweep_parallel"
-			}
-			log.Printf("running %s (workers=%d)...", name, r.Parallelism())
-			start := time.Now()
-			rr, err := r.Speedups(config.Baseline32(), wls)
-			if err != nil {
-				log.Fatal(err)
-			}
-			rows[i] = rr
-			rep.Sweep = append(rep.Sweep, sweepResult{
-				Name:        name,
-				Parallelism: r.Parallelism(),
-				Seconds:     time.Since(start).Seconds(),
-			})
-		}
-		for i := range rows[0] { // parallel must reproduce sequential exactly
-			if rows[0][i].NormS1S2 != rows[1][i].NormS1S2 || rows[0][i].NormS1 != rows[1][i].NormS1 {
-				log.Fatalf("sequential/parallel mismatch on %s: %v vs %v",
-					rows[0][i].Workload.Name(), rows[0][i], rows[1][i])
-			}
-		}
-		rep.SweepSpeedup = rep.Sweep[0].Seconds / rep.Sweep[1].Seconds
+		runSweep(&rep, *quick)
 	}
 
 	w := os.Stdout
@@ -175,6 +154,189 @@ func main() {
 	if *out != "-" {
 		log.Printf("wrote %s", *out)
 	}
+	if *check != "" {
+		if err := checkAgainst(*check, rep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("no regression vs %s", *check)
+	}
+}
+
+// stepperWorkloads returns the three dense-vs-event comparison points:
+// idle-heavy (one compute-bound namd alone on 32 tiles — 31 idle tiles and a
+// mostly quiet mesh, the alone-run shape the paper's normalization baseline
+// needs in bulk), mixed (half-loaded 16-tile system), and saturated (all 32
+// tiles running the most memory-intensive workload).
+func stepperWorkloads() []struct {
+	name string
+	cfg  config.Config
+	apps []trace.Profile
+} {
+	alone := make([]trace.Profile, config.Baseline32().Mesh.Nodes())
+	alone[0] = trace.MustLookup("namd")
+
+	w1, err := workload.Get(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	half, err := w1.Halve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixed, err := half.Profiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w7, err := workload.Get(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saturated, err := w7.Profiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	return []struct {
+		name string
+		cfg  config.Config
+		apps []trace.Profile
+	}{
+		{"idle_heavy_alone_namd_32", config.Baseline32(), alone},
+		{"mixed_w1_half_16", config.Baseline16(), mixed},
+		{"saturated_w7_32", config.Baseline32(), saturated},
+	}
+}
+
+// stepperBenches measures ns per simulated cycle under both steppers for
+// each comparison workload.
+func stepperBenches(quick bool) []stepperResult {
+	warm := int64(20_000)
+	if quick {
+		warm = 5_000
+	}
+	var out []stepperResult
+	for _, wl := range stepperWorkloads() {
+		res := stepperResult{Name: wl.name}
+		for _, dense := range []bool{true, false} {
+			mode := "event"
+			if dense {
+				mode = "dense"
+			}
+			log.Printf("running stepper %s (%s)...", wl.name, mode)
+			r := testing.Benchmark(func(b *testing.B) {
+				s, err := sim.New(wl.cfg, wl.apps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetDenseStepping(dense)
+				s.Step(warm)
+				b.ResetTimer()
+				s.Step(int64(b.N))
+			})
+			if r.N == 0 {
+				log.Fatalf("stepper %s (%s) produced no iterations", wl.name, mode)
+			}
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if dense {
+				res.DenseNs, res.DenseOps = ns, r.N
+			} else {
+				res.EventNs, res.EventOps = ns, r.N
+			}
+		}
+		res.Speedup = res.DenseNs / res.EventNs
+		out = append(out, res)
+	}
+	return out
+}
+
+func runSweep(rep *report, quick bool) {
+	opts := exp.Options{
+		WarmupCycles:        20_000,
+		MeasureCycles:       60_000,
+		Seed:                1,
+		ThresholdPushPeriod: 5_000,
+	}
+	if quick {
+		opts.WarmupCycles, opts.MeasureCycles = 5_000, 15_000
+		opts.ThresholdPushPeriod = 2_000
+	}
+	var wls []workload.Workload
+	for _, id := range []int{1, 7, 13} {
+		w, err := workload.Get(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	var rows [2][]exp.SpeedupRow
+	workers := 1
+	for i, par := range []int{1, 0} { // 0 = GOMAXPROCS
+		o := opts
+		o.Parallelism = par
+		r := exp.NewRunner(o)
+		name := "fig11_sweep_sequential"
+		if par != 1 {
+			name = "fig11_sweep_parallel"
+			workers = r.Parallelism()
+		}
+		log.Printf("running %s (workers=%d)...", name, r.Parallelism())
+		start := time.Now()
+		rr, err := r.Speedups(config.Baseline32(), wls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows[i] = rr
+		rep.Sweep = append(rep.Sweep, sweepResult{
+			Name:        name,
+			Parallelism: r.Parallelism(),
+			Seconds:     time.Since(start).Seconds(),
+		})
+	}
+	for i := range rows[0] { // parallel must reproduce sequential exactly
+		if rows[0][i].NormS1S2 != rows[1][i].NormS1S2 || rows[0][i].NormS1 != rows[1][i].NormS1 {
+			log.Fatalf("sequential/parallel mismatch on %s: %v vs %v",
+				rows[0][i].Workload.Name(), rows[0][i], rows[1][i])
+		}
+	}
+	if workers > 1 {
+		rep.SweepSpeedup = rep.Sweep[0].Seconds / rep.Sweep[1].Seconds
+		rep.SweepSpeedupValid = true
+	} else {
+		rep.SweepSpeedupNote = "single worker (1 CPU): wall-clock ratio does not measure parallelism"
+	}
+}
+
+// checkAgainst gates the fresh report on a stored one: any micro benchmark
+// allocating more per op than before fails, as does the 32-core cycle loop
+// running more than 20% slower. ns/op on shared CI hosts is noisy, hence the
+// slack; allocs per op are deterministic, hence none.
+func checkAgainst(path string, fresh report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var stored report
+	if err := json.Unmarshal(data, &stored); err != nil {
+		return err
+	}
+	prev := make(map[string]microResult, len(stored.Micro))
+	for _, m := range stored.Micro {
+		prev[m.Name] = m
+	}
+	for _, m := range fresh.Micro {
+		p, ok := prev[m.Name]
+		if !ok {
+			continue
+		}
+		if m.AllocsPerOp > p.AllocsPerOp {
+			return fmt.Errorf("%s allocates %d/op, was %d/op in %s", m.Name, m.AllocsPerOp, p.AllocsPerOp, path)
+		}
+		if m.Name == "sim_cycle_32core" && m.NsPerOp > 1.2*p.NsPerOp {
+			return fmt.Errorf("%s at %.0f ns/op, >20%% over %.0f ns/op in %s", m.Name, m.NsPerOp, p.NsPerOp, path)
+		}
+	}
+	return nil
 }
 
 // simCycleBench returns a benchmark body where one op is one simulated cycle

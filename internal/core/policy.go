@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"nocmem/internal/config"
 	"nocmem/internal/noc"
 )
@@ -73,4 +75,14 @@ func (p *Policy) Tick(now int64) {
 	if p.S1 != nil {
 		p.S1.Tick(now)
 	}
+}
+
+// NextWake returns the next cycle at which Tick has any effect — the next
+// Scheme-1 threshold push, or never. Calling Tick only at that cycle is
+// equivalent to calling it every cycle.
+func (p *Policy) NextWake() int64 {
+	if p.S1 != nil {
+		return p.S1.NextPush()
+	}
+	return math.MaxInt64
 }

@@ -95,6 +95,10 @@ func (s *Scheme1) Tick(now int64) {
 	}
 }
 
+// NextPush returns the cycle of the next periodic threshold push; Tick is a
+// no-op on every earlier cycle.
+func (s *Scheme1) NextPush() int64 { return s.nextPush }
+
 // Threshold returns the lateness threshold currently visible at the MCs for
 // the given application.
 func (s *Scheme1) Threshold(coreID int) int64 { return s.published[coreID] }

@@ -8,6 +8,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"nocmem/internal/config"
 	"nocmem/internal/trace"
@@ -157,6 +158,37 @@ func (c *Core) fetch(now int64) {
 		c.memInFlight++
 		c.hasPending = false
 	}
+}
+
+// SleepUntil reports whether the core is hard-stalled — instruction window
+// full with an uncommittable head — which is the only state in which its
+// per-cycle effects are closed-form (see CatchUpStall) and the simulator may
+// elide its ticks. The returned cycle is when the head becomes committable;
+// math.MaxInt64 means the head awaits a memory completion, which arrives
+// through the owning tile and re-activates the core before it matters.
+func (c *Core) SleepUntil(now int64) (wake int64, ok bool) {
+	if c.count != c.cfg.WindowSize {
+		return 0, false
+	}
+	e := &c.rob[c.head]
+	if !e.done {
+		return math.MaxInt64, true
+	}
+	if e.doneAt <= now {
+		return 0, false
+	}
+	return e.doneAt, true
+}
+
+// CatchUpStall accounts k elided ticks during which the core was provably
+// hard-stalled (SleepUntil returned ok and no completion fired): each such
+// cycle the dense loop would add exactly one window stall, one fetch stall,
+// and memInFlight to the outstanding-instruction integral, and nothing else.
+func (c *Core) CatchUpStall(k int64) {
+	c.stats.Cycles += k
+	c.stats.OutstandSum += k * int64(c.memInFlight)
+	c.stats.WindowStalls += k
+	c.stats.FetchStalls += k
 }
 
 // Outstanding returns the number of in-flight memory instructions.

@@ -201,6 +201,60 @@ func (c *Controller) Tick(now int64) {
 	}
 }
 
+// NextWake returns the earliest cycle at which the controller can have any
+// effect, assuming nothing new is enqueued, so that the simulator may skip
+// its ticks until then. Every per-cycle decision in Tick is governed by an
+// exact timer: a completion fires at DoneAt; a bank with waiters issues the
+// moment it is free and a request is past the controller latency (the shared
+// bus delays only the transfer, not the issue, and the starvation and
+// write-drain rules change which request is picked, never when); refresh and
+// idleness sampling are periodic. Queues are FIFO by arrival (picks preserve
+// order), so the head entries carry the earliest readiness times. ok is
+// false when the controller has work this very cycle and must keep ticking.
+func (c *Controller) NextWake(now int64) (wake int64, ok bool) {
+	wake = c.nextSample
+	if c.nextRefresh > 0 && c.nextRefresh < wake {
+		wake = c.nextRefresh
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.inFlight != nil {
+			// Completion; any waiters are reconsidered that same cycle.
+			if b.inFlight.DoneAt < wake {
+				wake = b.inFlight.DoneAt
+			}
+			continue
+		}
+		if b.pending() == 0 {
+			continue
+		}
+		// Idle bank with waiters: next issue is when the bank frees
+		// (post-refresh occupancy) or the earliest request becomes ready.
+		next := b.busyUntil
+		if next <= now {
+			next = int64(1)<<62 - 1
+			if len(b.reads) > 0 {
+				next = b.reads[0].EnqueuedAt + int64(c.cfg.CtlLatency)
+			}
+			if len(b.writes) > 0 {
+				if t := b.writes[0].EnqueuedAt + int64(c.cfg.CtlLatency); t < next {
+					next = t
+				}
+			}
+		}
+		if next <= now {
+			return 0, false // issuable right now; keep ticking
+		}
+		if next < wake {
+			wake = next
+		}
+	}
+	if wake <= now {
+		return 0, false
+	}
+	return wake, true
+}
+
 // frfcfsPick returns the scheduling choice within one queue under the
 // configured policy. For FR-FCFS: the oldest row-buffer hit, or the oldest
 // ready request when there is no hit or when the oldest request has starved

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nocmem/internal/config"
 )
@@ -38,6 +39,17 @@ type Network struct {
 	sinks   []Sink
 	stats   Stats
 	pktSeq  uint64
+
+	// eventDriven switches Tick from the dense sweep over all routers to
+	// iterating only the active set. active is the bitmask of routers with
+	// any work (buffered flits, pending injections, in-flight arrivals or
+	// credits); a router leaves the set when idle() and re-enters through
+	// wake, which is called at every point work can appear (Inject, arrival
+	// hand-off, credit return). Spurious wakes are harmless — a ticked
+	// router with nothing due changes no state — so the mask may
+	// over-approximate but must never under-approximate.
+	eventDriven bool
+	active      uint64
 
 	// flitFree recycles flits (a packet's flits die at ejection, one
 	// packet's worth per delivery). The network is single-goroutine, so a
@@ -104,6 +116,40 @@ func New(mesh config.Mesh, cfg config.NoC) (*Network, error) {
 	return n, nil
 }
 
+// SetEventDriven switches between the dense Tick (every router, every cycle)
+// and active-set ticking. Enabling it marks every router active; the set
+// then shrinks as routers drain. Both modes produce identical results; the
+// dense sweep is retained as the equivalence reference. Event-driven mode is
+// limited to 64 routers (the active-set bitmask width).
+func (n *Network) SetEventDriven(on bool) {
+	if on && len(n.routers) > 64 {
+		panic(fmt.Sprintf("noc: event-driven ticking supports at most 64 routers, got %d", len(n.routers)))
+	}
+	n.eventDriven = on
+	n.active = 0
+	if on {
+		n.active = allMask(len(n.routers))
+	}
+}
+
+// allMask returns a bitmask with the low k bits set (k <= 64).
+func allMask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(k) - 1
+}
+
+// wake marks a router as having (possibly future) work.
+func (n *Network) wake(id int) {
+	n.active |= 1 << uint(id)
+}
+
+// RoutersQuiet reports whether the active set is empty, i.e. no flit is
+// buffered, injecting, or in flight anywhere. Only meaningful in
+// event-driven mode.
+func (n *Network) RoutersQuiet() bool { return n.active == 0 }
+
 // Nodes returns the number of tiles.
 func (n *Network) Nodes() int { return len(n.routers) }
 
@@ -153,6 +199,7 @@ func (n *Network) Inject(p *Packet, now int64) error {
 	// The outbox is priority-ordered: endpoints inject expedited messages
 	// first (stable within a class, so normal traffic keeps FIFO order).
 	r.outbox[p.VNet].push(p)
+	n.wake(p.Src)
 	n.stats.Injected++
 	n.stats.InFlight++
 	if p.Priority == High {
@@ -161,10 +208,26 @@ func (n *Network) Inject(p *Packet, now int64) error {
 	return nil
 }
 
-// Tick advances every router by one cycle.
+// Tick advances every router (dense mode) or every active router
+// (event-driven mode) by one cycle. Routers activated mid-sweep by an
+// earlier router's dispatch only gained future-dated work (arrivals land at
+// now+div+1, credits at now+1), so skipping them until the next cycle is
+// equivalent to the dense sweep, where their tick this cycle is a no-op.
 func (n *Network) Tick(now int64) {
-	for _, r := range n.routers {
+	if !n.eventDriven {
+		for _, r := range n.routers {
+			r.tick(now)
+		}
+		return
+	}
+	for m := n.active; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << uint(i)
+		r := n.routers[i]
 		r.tick(now)
+		if r.idle() {
+			n.active &^= 1 << uint(i)
+		}
 	}
 }
 

@@ -561,6 +561,7 @@ func (r *router) dispatch(ref vcRef, now int64) {
 		slot.credits--
 		nb.arrivals[opposite(v.outPort)] = append(nb.arrivals[opposite(v.outPort)],
 			arrival{f: f, vc: v.outVC, at: now + r.div + 1})
+		r.net.wake(nb.id)
 		if f.tail {
 			slot.owner = nil
 		}
@@ -571,6 +572,7 @@ func (r *router) dispatch(ref vcRef, now int64) {
 	if ref.port != PortLocal {
 		up := r.neighbor[ref.port]
 		up.credits = append(up.credits, creditMsg{port: opposite(ref.port), vc: ref.vc, at: now + 1})
+		r.net.wake(up.id)
 	}
 
 	if f.tail {

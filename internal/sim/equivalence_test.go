@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/trace"
+)
+
+// runOnce builds a simulator over the given workload, forces the chosen
+// stepper, runs the configured window and returns the serialized summary plus
+// the raw result for field-level comparison.
+func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool) ([]byte, *Result) {
+	t.Helper()
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDenseStepping(dense)
+	r := s.Run()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r
+}
+
+// TestEventDenseEquivalence is the scheduler's correctness oracle: the
+// event-driven stepper must reproduce the dense reference cycle for cycle —
+// byte-identical summaries and identical core counters (which include the
+// stall and outstanding-instruction integrals the closed-form catch-up
+// reconstructs) — across workloads exercising idle tiles, hard-stalled
+// cores, saturation, both schemes and heterogeneous router clocks.
+func TestEventDenseEquivalence(t *testing.T) {
+	base := smallConfig()
+
+	hetero := smallConfig()
+	hetero.NoC.ClockDivisors = map[int]int{5: 2, 10: 4}
+
+	schemes := smallConfig().WithSchemes(true, true)
+	schemes.S1.UpdatePeriod = 2_000
+
+	cases := []struct {
+		name string
+		cfg  config.Config
+		apps []trace.Profile
+	}{
+		{"all_idle", base, make([]trace.Profile, base.Mesh.Nodes())},
+		{"alone_mcf", base, fillApps(base, "mcf", 1)},
+		{"milc_8", base, fillApps(base, "milc", 8)},
+		{"saturated_mcf_16", base, fillApps(base, "mcf", 16)},
+		{"schemes_mcf_12", schemes, fillApps(schemes, "mcf", 12)},
+		{"hetero_clocks_milc_8", hetero, fillApps(hetero, "milc", 8)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			denseJSON, denseRes := runOnce(t, tc.cfg, tc.apps, true)
+			eventJSON, eventRes := runOnce(t, tc.cfg, tc.apps, false)
+			if !bytes.Equal(denseJSON, eventJSON) {
+				t.Fatalf("summaries differ\n--- dense ---\n%s\n--- event ---\n%s", denseJSON, eventJSON)
+			}
+			if !reflect.DeepEqual(denseRes.CoreStats, eventRes.CoreStats) {
+				t.Fatalf("core stats differ:\ndense %+v\nevent %+v", denseRes.CoreStats, eventRes.CoreStats)
+			}
+			if denseRes.Net != eventRes.Net {
+				t.Fatalf("network stats differ:\ndense %+v\nevent %+v", denseRes.Net, eventRes.Net)
+			}
+		})
+	}
+}
+
+// TestDenseEnvForcesReference covers the process-wide escape hatch used to
+// re-verify results without code changes.
+func TestDenseEnvForcesReference(t *testing.T) {
+	t.Setenv(denseStepEnv, "1")
+	cfg := smallConfig()
+	s, err := New(cfg, fillApps(cfg, "milc", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.dense {
+		t.Fatal("NOCMEM_DENSE_STEP=1 did not select the dense stepper")
+	}
+	s.Step(1_000)
+	if s.DebugTickedCycles() != 0 {
+		t.Fatal("dense stepper went through the event-driven cycle counter")
+	}
+}
+
+// TestEventFastForwardsIdle proves the quiescence fast-forward actually
+// skips work: an all-idle system only executes the cycles on which a memory
+// controller samples idleness (every 100 cycles) or refreshes, a tiny
+// fraction of simulated time.
+func TestEventFastForwardsIdle(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg, make([]trace.Profile, cfg.Mesh.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 1_000_000
+	s.Step(cycles)
+	if s.Now() != cycles {
+		t.Fatalf("Now = %d after Step(%d)", s.Now(), cycles)
+	}
+	if got := s.DebugTickedCycles(); got > cycles/20 {
+		t.Fatalf("executed %d of %d cycles; fast-forward is not engaging", got, cycles)
+	}
+}
+
+// drainSource is a finite synthetic application: count memory accesses
+// (every fourth a store) striding whole L1 sets apart to force misses,
+// evictions and writebacks, then non-memory instructions forever. Used to
+// prove the system runs completely dry — and that no wakeup was lost, since
+// a stranded message would stay parked in a queue QuiesceCheck inspects.
+type drainSource struct {
+	left   int
+	addr   uint64
+	stride uint64
+}
+
+func (d *drainSource) Next() trace.Instr {
+	if d.left <= 0 {
+		return trace.Instr{}
+	}
+	d.left--
+	a := d.addr
+	d.addr += d.stride
+	return trace.Instr{IsMem: true, IsStore: d.left%4 == 0, Addr: a}
+}
+
+func (d *drainSource) PrewarmLines() (hot, warm []uint64) { return nil, nil }
+
+func TestQuiesceAfterDrain(t *testing.T) {
+	cfg := smallConfig()
+	nodes := cfg.Mesh.Nodes()
+	srcs := make([]trace.AppSource, nodes)
+	apps := make([]trace.Profile, nodes)
+	srcs[0] = &drainSource{left: 2_000, stride: 64 * 512}
+	apps[0] = trace.Profile{Name: "drain"}
+	srcs[5] = &drainSource{left: 1_000, addr: 1 << 30, stride: 64 * 512}
+	apps[5] = trace.Profile{Name: "drain"}
+	s, err := NewFromSources(cfg, srcs, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.resetStats() // the collector only counts inside a measurement window
+	s.Step(2_000_000)
+	if err := s.QuiesceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	r := s.results()
+	if r.Collector.OffChip[0] == 0 || r.Collector.OffChip[5] == 0 {
+		t.Fatalf("drain sources completed no off-chip accesses: %d / %d",
+			r.Collector.OffChip[0], r.Collector.OffChip[5])
+	}
+}

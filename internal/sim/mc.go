@@ -18,6 +18,7 @@ type mcPayload struct {
 // mcNode hosts one memory controller on a corner tile.
 type mcNode struct {
 	tile int
+	idx  int // controller index: position in Simulator.mcs and the active-set bitmask
 	s    *Simulator
 	ctl  *dram.Controller
 
@@ -28,7 +29,7 @@ type mcNode struct {
 }
 
 func newMCNode(tile, ctlIdx int, s *Simulator) *mcNode {
-	m := &mcNode{tile: tile, s: s}
+	m := &mcNode{tile: tile, idx: ctlIdx, s: s}
 	m.ctl = dram.NewController(s.cfg.DRAM, ctlIdx, m.complete)
 	return m
 }
@@ -68,6 +69,10 @@ func (m *mcNode) accept(it inItem, now int64) {
 	if err := m.ctl.Enqueue(r, now); err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
 	}
+	// Re-activate a sleeping controller: accept runs during the node phase,
+	// after this cycle's MC phase, so the controller first considers the
+	// request next cycle — exactly as under dense stepping.
+	m.s.mcActive |= 1 << uint(m.idx)
 }
 
 // complete is the controller's completion callback: reads become response

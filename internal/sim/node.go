@@ -53,13 +53,21 @@ type node struct {
 	l2Queue []inItem // requests waiting for the L2 bank port
 	l2Busy  []l2Job  // requests inside the L2 pipeline
 	delayed []action // L1-side scheduled work (hit completion, miss injection)
+
+	// lastCoreTick is the last cycle tickCore ran; the gap to the current
+	// cycle is the span of elided hard-stall core ticks replayed in closed
+	// form (see sched.go and cpu.CatchUpStall).
+	lastCoreTick int64
 }
 
 func newNode(id int, s *Simulator) *node {
 	cfg := s.cfg
 	n := &node{
-		id:  id,
-		s:   s,
+		id: id,
+		s:  s,
+
+		lastCoreTick: -1,
+
 		l1:  cache.New(cfg.L1.SizeBytes, cfg.L1.LineBytes, cfg.L1.Ways),
 		l1m: cache.NewMSHRTable(cfg.L1.MSHRs),
 		l2:  cache.New(cfg.L2.SizeBytes, cfg.L2.LineBytes, cfg.L2.Ways),
@@ -94,9 +102,15 @@ func (n *node) backInvalidate(line uint64, now int64) {
 	}
 }
 
-// deliver is the tile's network sink.
+// deliver is the tile's network sink. A sleeping tile schedules a timed wake
+// for the packet's availability cycle; an active one picks it up through its
+// regular trySleep bookkeeping. (Ejection times per tile are nondecreasing,
+// so the inbox stays sorted by at.)
 func (n *node) deliver(p *noc.Packet, at int64) {
 	n.inbox = append(n.inbox, inItem{pkt: p, at: at})
+	if !n.s.dense && n.s.nodeActive&(1<<uint(n.id)) == 0 {
+		n.s.pushWake(at, wakeNode, n.id)
+	}
 }
 
 // dispatchInbox routes delivered packets to the L2 bank, the memory
@@ -115,8 +129,8 @@ func (n *node) dispatchInbox(now int64) {
 			}
 			n.l2Queue = append(n.l2Queue, it)
 		case msgReqL2toMC, msgWBL2toMC:
-			mc, ok := n.s.mcAt[n.id]
-			if !ok {
+			mc := n.s.mcAt[n.id]
+			if mc == nil {
 				panic(fmt.Sprintf("sim: tile %d received %v but hosts no memory controller", n.id, m.kind))
 			}
 			mc.accept(it, now)
@@ -327,8 +341,21 @@ func (n *node) sendL1Request(t *Txn, line uint64, at int64) {
 		noc.VNetRequest, n.s.pol.BasePriority(n.id), 0, msgReqL1toL2, t, line)
 }
 
+// catchUpCore replays elided hard-stall cycles in closed form (the node only
+// sleeps past a core when cpu.SleepUntil certified the stall; see sched.go).
+// It must run before any of the waking cycle's own effects: an arriving fill
+// decrements the in-flight count, and the elided cycles' outstanding-
+// instruction integral must still observe the old value.
+func (n *node) catchUpCore(now int64) {
+	if n.core != nil && now > n.lastCoreTick+1 {
+		n.core.CatchUpStall(now - n.lastCoreTick - 1)
+	}
+	n.lastCoreTick = now - 1
+}
+
 // tickCore runs delayed L1 work and the core itself.
 func (n *node) tickCore(now int64) {
+	n.lastCoreTick = now
 	if len(n.delayed) > 0 {
 		kept := n.delayed[:0]
 		for _, a := range n.delayed {

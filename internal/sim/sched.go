@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"os"
+)
+
+// The event-driven scheduler replaces the dense per-cycle sweep over every
+// component with active sets plus a min-heap of timed wakes:
+//
+//   - A component (node, memory controller, router) is *active* while it may
+//     change state this cycle; active components are ticked exactly like the
+//     dense loop, in the same canonical order.
+//   - A component with only future-dated work sleeps and registers a timed
+//     wake for its earliest deadline; external events (packet delivery, a
+//     request enqueue, a flit hand-off) re-activate their target directly.
+//   - When every set is empty, no packet is in flight and the policy has no
+//     push due, the simulator fast-forwards now to the earliest timed wake
+//     in O(1) instead of sweeping O(tiles) empty cycles.
+//
+// The single invariant that makes this byte-identical to the dense stepper:
+// effects happen only when due, wakes may be spurious but never missing. A
+// spurious tick of a quiescent component is a no-op by construction (every
+// tick body checks its own deadlines), so the active sets may safely
+// over-approximate. The one component whose dense tick is *not* a no-op
+// while quiescent is the core — a hard-stalled core still counts stall
+// cycles — so its elided ticks are replayed in closed form (see
+// cpu.CatchUpStall) when it next runs.
+
+// wakeKind identifies the component class of a timed wake.
+type wakeKind uint8
+
+const (
+	wakeNode wakeKind = iota
+	wakeMC
+)
+
+// wake is one scheduled activation: component idx of the given kind has a
+// deadline at cycle at. Entries are never cancelled; stale ones cause a
+// harmless spurious tick.
+type wake struct {
+	at   int64
+	kind wakeKind
+	idx  int32
+}
+
+// pushWake schedules a component activation (min-heap on at, sift-up).
+func (s *Simulator) pushWake(at int64, kind wakeKind, idx int) {
+	s.wakes = append(s.wakes, wake{at: at, kind: kind, idx: int32(idx)})
+	i := len(s.wakes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.wakes[p].at <= s.wakes[i].at {
+			break
+		}
+		s.wakes[p], s.wakes[i] = s.wakes[i], s.wakes[p]
+		i = p
+	}
+}
+
+// popWake removes and returns the earliest wake (sift-down).
+func (s *Simulator) popWake() wake {
+	w := s.wakes[0]
+	last := len(s.wakes) - 1
+	s.wakes[0] = s.wakes[last]
+	s.wakes = s.wakes[:last]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < len(s.wakes) && s.wakes[l].at < s.wakes[small].at {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s.wakes) && s.wakes[r].at < s.wakes[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.wakes[i], s.wakes[small] = s.wakes[small], s.wakes[i]
+		i = small
+	}
+	return w
+}
+
+// allMask returns a bitmask with the low k bits set (k <= 64).
+func allMask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(k) - 1
+}
+
+// activateAll marks every component active and re-arms the policy timer;
+// called at construction and when switching from dense to event-driven
+// stepping, after which the sets shrink back to the truly busy components.
+func (s *Simulator) activateAll() {
+	s.nodeActive = allMask(len(s.nodes))
+	s.mcActive = allMask(len(s.mcs))
+	s.polNext = s.pol.NextWake()
+}
+
+// SetDenseStepping switches between the event-driven scheduler (default) and
+// the dense reference stepper that ticks every component every cycle. Both
+// produce byte-identical results; the dense stepper is retained as the
+// equivalence oracle for tests and can be forced for a whole process with
+// NOCMEM_DENSE_STEP=1. Safe to call between Step calls at any time.
+func (s *Simulator) SetDenseStepping(dense bool) {
+	s.dense = dense
+	s.net.SetEventDriven(!dense)
+	if !dense {
+		s.activateAll()
+	}
+}
+
+// denseStepEnv is the debug escape hatch honored at construction.
+const denseStepEnv = "NOCMEM_DENSE_STEP"
+
+func denseFromEnv() bool {
+	v := os.Getenv(denseStepEnv)
+	return v != "" && v != "0"
+}
+
+// stepDense is the retained dense reference loop: every component, every
+// cycle, in canonical order.
+func (s *Simulator) stepDense(cycles int64) {
+	for c := int64(0); c < cycles; c++ {
+		now := s.now
+		s.pol.Tick(now)
+		for _, mc := range s.mcs {
+			mc.ctl.Tick(now)
+		}
+		for _, n := range s.nodes {
+			n.dispatchInbox(now)
+			n.tickL2(now)
+		}
+		s.net.Tick(now)
+		for _, n := range s.nodes {
+			n.tickCore(now)
+		}
+		s.now++
+	}
+}
+
+// stepEvent is the event-driven scheduler. Within an executed cycle the
+// phase order is identical to stepDense (policy, MCs, node front-ends,
+// network, cores), and active components of each class are ticked in
+// ascending index order, so the state evolution matches the dense loop
+// exactly on the components that have work; the rest provably have none.
+func (s *Simulator) stepEvent(cycles int64) {
+	end := s.now + cycles
+	for s.now < end {
+		now := s.now
+
+		// Activate components whose timed wakes are due.
+		for len(s.wakes) > 0 && s.wakes[0].at <= now {
+			w := s.popWake()
+			switch w.kind {
+			case wakeNode:
+				s.nodeActive |= 1 << uint(w.idx)
+			case wakeMC:
+				s.mcActive |= 1 << uint(w.idx)
+			}
+		}
+		if now >= s.polNext {
+			s.pol.Tick(now)
+			s.polNext = s.pol.NextWake()
+		}
+
+		// Quiescence fast-forward: with no active component and nothing in
+		// flight, jump straight to the next deadline.
+		if s.nodeActive == 0 && s.mcActive == 0 && s.net.RoutersQuiet() {
+			next := end
+			if len(s.wakes) > 0 && s.wakes[0].at < next {
+				next = s.wakes[0].at
+			}
+			if s.polNext < next {
+				next = s.polNext
+			}
+			if next <= now { // cannot happen (all deadlines are future); guard anyway
+				next = now + 1
+			}
+			s.now = next
+			continue
+		}
+
+		for m := s.mcActive; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			s.mcs[i].ctl.Tick(now)
+		}
+		for m := s.nodeActive; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			n := s.nodes[i]
+			n.catchUpCore(now)
+			n.dispatchInbox(now)
+			n.tickL2(now)
+		}
+		s.net.Tick(now)
+		for m := s.nodeActive; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			s.nodes[i].tickCore(now)
+		}
+
+		// Retire quiescent components from the active sets.
+		for m := s.nodeActive; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			s.nodes[i].trySleep(now)
+		}
+		for m := s.mcActive; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			s.mcs[i].trySleep(now)
+		}
+
+		s.ticked++
+		s.now++
+	}
+}
+
+// flushCoreStats replays, in closed form, the stall cycles of every sleeping
+// hard-stalled core up to the current cycle, so that reading or resetting
+// statistics observes exactly what the dense loop would have counted. Called
+// at the warmup/measurement boundary and before collecting results.
+func (s *Simulator) flushCoreStats() {
+	last := s.now - 1
+	for _, n := range s.nodes {
+		if n.core != nil && last > n.lastCoreTick {
+			n.core.CatchUpStall(last - n.lastCoreTick)
+			n.lastCoreTick = last
+		}
+	}
+}
+
+// trySleep retires the node from the active set when it has no work this
+// cycle, registering a timed wake for its earliest future deadline. The
+// queues consulted are all sorted by deadline (deliveries, L2 pipeline jobs
+// and delayed L1 actions are appended with nondecreasing times), so the head
+// entry is the earliest. A node with a runnable core never sleeps; a node
+// whose core is hard-stalled may, because the elided core ticks are
+// closed-form (see tickCore).
+func (n *node) trySleep(now int64) {
+	if len(n.l2Queue) > 0 {
+		return
+	}
+	wakeAt := int64(math.MaxInt64)
+	if len(n.inbox) > 0 {
+		if at := n.inbox[0].at; at <= now {
+			return
+		} else if at < wakeAt {
+			wakeAt = at
+		}
+	}
+	if len(n.l2Busy) > 0 {
+		if d := n.l2Busy[0].done; d <= now {
+			return
+		} else if d < wakeAt {
+			wakeAt = d
+		}
+	}
+	if len(n.delayed) > 0 {
+		if at := n.delayed[0].at; at <= now {
+			return
+		} else if at < wakeAt {
+			wakeAt = at
+		}
+	}
+	if n.core != nil {
+		cw, ok := n.core.SleepUntil(now)
+		if !ok {
+			return
+		}
+		if cw < wakeAt {
+			wakeAt = cw
+		}
+	}
+	if wakeAt <= now+1 {
+		return // due next cycle: staying active beats a heap round trip
+	}
+	n.s.nodeActive &^= 1 << uint(n.id)
+	if wakeAt != math.MaxInt64 {
+		n.s.pushWake(wakeAt, wakeNode, n.id)
+	}
+}
+
+// trySleep retires the memory controller from the active set when the DRAM
+// model reports an exact next deadline (completion, refresh, or idleness
+// sample) and nothing is waiting to be scheduled.
+func (m *mcNode) trySleep(now int64) {
+	wakeAt, ok := m.ctl.NextWake(now)
+	if !ok || wakeAt <= now+1 {
+		return
+	}
+	m.s.mcActive &^= 1 << uint(m.idx)
+	m.s.pushWake(wakeAt, wakeMC, m.idx)
+}
+
+// DebugTickedCycles returns the number of cycles the event-driven scheduler
+// actually executed (as opposed to fast-forwarded over); used by tests to
+// prove quiescent stretches are skipped.
+func (s *Simulator) DebugTickedCycles() int64 { return s.ticked }
+
+// QuiesceCheck verifies that no work is pending anywhere outside the cores:
+// the network holds no packet, every tile's inbox, L2 pipeline and delayed
+// queues are empty, and every memory controller is drained. With the
+// event-driven scheduler this doubles as a lost-wakeup detector — a message
+// stranded by a missing wake stays visibly parked in one of these queues.
+func (s *Simulator) QuiesceCheck() error {
+	if err := s.net.Quiesce(); err != nil {
+		return err
+	}
+	for _, n := range s.nodes {
+		if k := len(n.inbox) + len(n.l2Queue) + len(n.l2Busy) + len(n.delayed); k != 0 {
+			return fmt.Errorf("sim: tile %d holds %d undone items (inbox=%d l2Queue=%d l2Busy=%d delayed=%d)",
+				n.id, k, len(n.inbox), len(n.l2Queue), len(n.l2Busy), len(n.delayed))
+		}
+	}
+	for _, mc := range s.mcs {
+		if p := mc.ctl.PendingAll(); p != 0 {
+			return fmt.Errorf("sim: memory controller at tile %d still holds %d requests", mc.tile, p)
+		}
+	}
+	return nil
+}

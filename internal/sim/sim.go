@@ -22,8 +22,8 @@ type Simulator struct {
 	pol     *core.Policy
 	nodes   []*node
 	mcs     []*mcNode
-	mcAt    map[int]*mcNode
-	mcTiles []int // cfg.MCNodes(), cached: the accessor builds a fresh slice
+	mcAt    []*mcNode // tile -> hosted controller; nil on non-MC tiles
+	mcTiles []int     // cfg.MCNodes(), cached: the accessor builds a fresh slice
 
 	amap  dram.AddrMap
 	snuca cache.SNUCA
@@ -31,6 +31,18 @@ type Simulator struct {
 	now    int64
 	txnSeq uint64
 	col    *Collector
+
+	// Event-driven scheduler state (see sched.go). dense selects the
+	// reference stepper instead; nodeActive/mcActive are the per-class
+	// active-set bitmasks, wakes the timed-wake min-heap, polNext the next
+	// cycle the policy has work, and ticked counts executed (not
+	// fast-forwarded) cycles.
+	dense      bool
+	nodeActive uint64
+	mcActive   uint64
+	wakes      []wake
+	polNext    int64
+	ticked     int64
 
 	// Packet/message free lists: protocol messages are born at an inject
 	// site and die at exactly one consumption point (see recycle), so the
@@ -102,7 +114,7 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 		pol:   core.NewPolicy(cfg),
 		amap:  amap,
 		snuca: cache.NewSNUCA(nodes, cfg.L2.LineBytes),
-		mcAt:  make(map[int]*mcNode),
+		mcAt:  make([]*mcNode, nodes),
 		col:   newCollector(nodes),
 	}
 	s.nodes = make([]*node, nodes)
@@ -137,6 +149,7 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 		s.mcs = append(s.mcs, mc)
 		s.mcAt[tile] = mc
 	}
+	s.SetDenseStepping(denseFromEnv())
 	return s, nil
 }
 
@@ -213,29 +226,22 @@ func (s *Simulator) mcTileOf(addr uint64) int {
 	return s.mcTiles[s.amap.Controller(addr)]
 }
 
-// Step advances the whole system by the given number of cycles.
+// Step advances the whole system by the given number of cycles, with the
+// event-driven scheduler by default or the dense reference stepper when
+// selected (SetDenseStepping, NOCMEM_DENSE_STEP). Both produce identical
+// results; see sched.go.
 func (s *Simulator) Step(cycles int64) {
-	for c := int64(0); c < cycles; c++ {
-		now := s.now
-		s.pol.Tick(now)
-		for _, mc := range s.mcs {
-			mc.ctl.Tick(now)
-		}
-		for _, n := range s.nodes {
-			n.dispatchInbox(now)
-			n.tickL2(now)
-		}
-		s.net.Tick(now)
-		for _, n := range s.nodes {
-			n.tickCore(now)
-		}
-		s.now++
+	if s.dense {
+		s.stepDense(cycles)
+		return
 	}
+	s.stepEvent(cycles)
 }
 
 // resetStats clears every counter at the warmup/measurement boundary while
 // preserving learned state (cache contents, scheme thresholds, open rows).
 func (s *Simulator) resetStats() {
+	s.flushCoreStats()
 	s.col = newCollector(len(s.nodes))
 	s.col.measuring = true
 	s.net.ResetStats()
@@ -293,6 +299,7 @@ type Result struct {
 }
 
 func (s *Simulator) results() *Result {
+	s.flushCoreStats()
 	r := &Result{
 		Cfg:        s.cfg,
 		Apps:       s.apps,
