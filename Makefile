@@ -1,7 +1,8 @@
 # Developer entry points. `make ci` is the gate run before every commit:
 # vet, build, the full test suite under the race detector, and a smoke run
-# of the perf harness (micro-benchmarks only, regression-gated; the full
-# harness writing BENCH_2.json is `make bench`).
+# of the perf harness (micro-benchmarks plus the sharded-vs-sequential
+# byte-equality gate, regression-gated; the full harness writing
+# BENCH_3.json is `make bench`).
 
 GO ?= go
 
@@ -22,14 +23,16 @@ race:
 	$(GO) test -race ./...
 
 # Full perf-regression harness: micro-benchmarks, dense-vs-event stepper
-# comparison, and the sequential-vs-parallel figure sweep, written to
-# BENCH_2.json for before/after comparison.
+# comparison, the sharded-stepper sweep (with its sequential byte-equality
+# gate), and the sequential-vs-parallel figure sweep, written to
+# BENCH_3.json for before/after comparison.
 bench:
 	$(GO) run ./cmd/bench
 
 # Quick harness pass with small windows, gated against the committed PR-1
 # report: fails if any micro benchmark allocates more per op than recorded
-# there, or if the 32-core cycle loop runs more than 20% slower.
+# there, if the 32-core cycle loop runs more than 20% slower, or if a
+# sharded run fails to reproduce the sequential result byte for byte.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -skip-sweep -out - -check BENCH_1.json
 

@@ -5,7 +5,10 @@
 //     allocs per cycle for the 32- and 16-core systems, and per network tick
 //     of a loaded mesh),
 //   - the event-driven stepper against the dense reference stepper on an
-//     idle-heavy (alone run), a mixed and a saturated workload, and
+//     idle-heavy (alone run), a mixed and a saturated workload,
+//   - the sharded parallel stepper at 1, 2 and 4 workers on the saturated
+//     workload (after gating that the sharded run reproduces the sequential
+//     one byte for byte), and
 //   - the wall time of a Figure-11 style sweep (three workloads, three
 //     systems each, plus alone runs) executed sequentially and on the
 //     runner's parallel worker pool,
@@ -14,20 +17,24 @@
 //
 // Usage:
 //
-//	bench                     # full harness -> BENCH_2.json
+//	bench                     # full harness -> BENCH_3.json
 //	bench -out -              # JSON to stdout
 //	bench -quick              # smaller op counts (CI smoke)
 //	bench -skip-sweep         # micro + stepper benchmarks only
+//	bench -shards 1,2,4       # shard counts for the sharded-stepper sweep
 //	bench -check BENCH_1.json # fail on regression vs a stored report
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -59,6 +66,24 @@ type stepperResult struct {
 	EventOps int     `json:"event_ops"`
 }
 
+// shardResult is one point of the sharded-stepper sweep: ns per simulated
+// cycle of the saturated 32-tile workload with the mesh partitioned into
+// Shards quadrants ticked by Workers goroutines. Speedup is relative to the
+// sequential (1-shard) run of the same sweep. Valid records whether the
+// ratio measures parallelism at all: on a single-CPU host the workers are
+// time-sliced onto one core and the ratio only shows barrier overhead, so
+// it must not be read as a parallelization regression (or win).
+type shardResult struct {
+	Name    string  `json:"name"`
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_cycle"`
+	Ops     int     `json:"ops"`
+	Speedup float64 `json:"speedup"`
+	Valid   bool    `json:"valid"`
+	Note    string  `json:"note,omitempty"`
+}
+
 type sweepResult struct {
 	Name        string  `json:"name"`
 	Parallelism int     `json:"parallelism"`
@@ -72,6 +97,7 @@ type report struct {
 	Baseline   []microResult   `json:"baseline"`
 	Micro      []microResult   `json:"micro"`
 	Stepper    []stepperResult `json:"stepper,omitempty"`
+	Shards     []shardResult   `json:"shards,omitempty"`
 	Sweep      []sweepResult   `json:"sweep,omitempty"`
 	// SweepSpeedup is sequential seconds / parallel seconds. It only
 	// measures parallelism when the worker pool actually has more than one
@@ -95,9 +121,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out       = flag.String("out", "BENCH_2.json", "output file ('-' = stdout)")
+		out       = flag.String("out", "BENCH_3.json", "output file ('-' = stdout)")
 		quick     = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
 		skipSweep = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
+		shards    = flag.String("shards", "1,2,4", "comma-separated shard counts for the sharded-stepper sweep ('' = skip)")
 		check     = flag.String("check", "", "stored report to gate against (fail on alloc or >20% ns/op regression)")
 	)
 	flag.Parse()
@@ -132,6 +159,15 @@ func main() {
 	}
 
 	rep.Stepper = stepperBenches(*quick)
+
+	if *shards != "" {
+		counts, err := parseShardCounts(*shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shardEqualityGate(counts, *quick)
+		rep.Shards = shardBenches(counts, *quick)
+	}
 
 	if !*skipSweep {
 		runSweep(&rep, *quick)
@@ -245,6 +281,119 @@ func stepperBenches(quick bool) []stepperResult {
 			}
 		}
 		res.Speedup = res.DenseNs / res.EventNs
+		out = append(out, res)
+	}
+	return out
+}
+
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -shards value %q", part)
+		}
+		counts = append(counts, k)
+	}
+	return counts, nil
+}
+
+// saturatedWorkload returns the heaviest comparison point (all 32 tiles on
+// the most memory-intensive workload) for the sharded sweep.
+func saturatedWorkload() (config.Config, []trace.Profile) {
+	w7, err := workload.Get(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps, err := w7.Profiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return config.Baseline32(), apps
+}
+
+// shardEqualityGate runs a short measured window sequentially and with each
+// sharded worker count and dies unless every sharded run reproduces the
+// sequential result byte for byte. This is the harness-level determinism
+// gate (make bench-smoke runs it on every CI pass); the full three-way
+// oracle lives in internal/sim's TestEventDenseEquivalence.
+func shardEqualityGate(counts []int, quick bool) {
+	cfg, apps := saturatedWorkload()
+	cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 5_000, 15_000
+	if quick {
+		cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 2_000, 6_000
+	}
+	runJSON := func(k int) []byte {
+		c := cfg
+		c.Run.Shards = k
+		s, err := sim.New(c, apps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Run().WriteJSON(&buf); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := runJSON(1)
+	for _, k := range counts {
+		if k == 1 {
+			continue
+		}
+		log.Printf("shard equality gate: %d shards vs sequential...", k)
+		if got := runJSON(k); !bytes.Equal(ref, got) {
+			log.Fatalf("sharded run (%d shards) does not reproduce the sequential result:\n--- sequential ---\n%s\n--- %d shards ---\n%s", k, ref, k, got)
+		}
+	}
+}
+
+// shardBenches measures ns per simulated cycle of the saturated workload
+// under the event stepper with the mesh split into each shard count.
+func shardBenches(counts []int, quick bool) []shardResult {
+	cfg, apps := saturatedWorkload()
+	warm := int64(20_000)
+	if quick {
+		warm = 5_000
+	}
+	procs := runtime.GOMAXPROCS(0)
+	var out []shardResult
+	for _, k := range counts {
+		c := cfg
+		c.Run.Shards = k
+		sx, sy := c.Mesh.ShardGrid(k)
+		workers := sx * sy
+		log.Printf("running sharded stepper saturated_w7_32 (%d shards, %d workers)...", k, workers)
+		r := testing.Benchmark(func(b *testing.B) {
+			s, err := sim.New(c, apps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Step(warm)
+			b.ResetTimer()
+			s.Step(int64(b.N))
+		})
+		if r.N == 0 {
+			log.Fatalf("sharded stepper (%d shards) produced no iterations", k)
+		}
+		res := shardResult{
+			Name:    "saturated_w7_32",
+			Shards:  k,
+			Workers: workers,
+			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+			Ops:     r.N,
+		}
+		if len(out) > 0 && out[0].Shards == 1 {
+			res.Speedup = out[0].NsPerOp / res.NsPerOp
+		}
+		switch {
+		case workers == 1:
+			res.Note = "single shard: sequential reference point"
+		case procs > 1:
+			res.Valid = true
+		default:
+			res.Note = fmt.Sprintf("GOMAXPROCS=%d: workers are time-sliced onto one core, ratio does not measure parallelism", procs)
+		}
 		out = append(out, res)
 	}
 	return out

@@ -31,6 +31,7 @@ func main() {
 		verbose = flag.Bool("v", false, "per-application details")
 		jsonOut = flag.String("json", "", "write the scheme-1+2 run's summary as JSON to this file ('-' = stdout)")
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
+		shards  = flag.Int("shards", 1, "mesh shards per simulation (worker goroutines; results are identical at any count)")
 	)
 	flag.Parse()
 	nocmem.SetParallelism(*jobs)
@@ -47,6 +48,7 @@ func main() {
 	cfg.Run.WarmupCycles = *warmup
 	cfg.Run.MeasureCycles = *measure
 	cfg.Run.Seed = *seed
+	cfg.Run.Shards = *shards
 	cfg.S1.UpdatePeriod = *measure / 15
 
 	w, err := nocmem.GetWorkload(*wid)

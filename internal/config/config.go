@@ -76,6 +76,33 @@ type Mesh struct {
 // Nodes returns the total number of tiles in the mesh.
 func (m Mesh) Nodes() int { return m.Width * m.Height }
 
+// MaxMeshTiles is the largest mesh Validate accepts. The simulator's data
+// structures scale past this; the cap just keeps obviously absurd configs
+// (typos like 1000x1000) from allocating gigabytes before failing elsewhere.
+const MaxMeshTiles = 1024
+
+// ShardGrid splits the mesh into k rectangular shards and returns the shard
+// grid dimensions (sx columns, sy rows of shards). k must be a power of two.
+// It halves the longer tile dimension first, so shards stay as square as
+// possible and the cut-edge (boundary traffic) count stays low.
+func (m Mesh) ShardGrid(k int) (sx, sy int) {
+	sx, sy = 1, 1
+	for sx*sy < k {
+		if m.Width/sx > m.Height/sy {
+			sx *= 2
+		} else {
+			sy *= 2
+		}
+	}
+	return sx, sy
+}
+
+// ShardOf returns the shard index of tile (x, y) under the sx x sy grid
+// returned by ShardGrid.
+func (m Mesh) ShardOf(x, y, sx, sy int) int {
+	return (y*sy/m.Height)*sx + x*sx/m.Width
+}
+
 // NoC holds the network-on-chip parameters (Table 1, "NoC parameters").
 type NoC struct {
 	Pipeline RouterPipeline
@@ -229,6 +256,13 @@ type Run struct {
 	WarmupCycles  int64
 	MeasureCycles int64
 	Seed          int64
+
+	// Shards is the number of rectangular mesh shards stepped by parallel
+	// worker goroutines in event mode. 0 or 1 means the sequential
+	// single-goroutine stepper. Must be a power of two and at most
+	// min(64, Mesh.Nodes()). Results are byte-identical for every value;
+	// only wall-clock time changes.
+	Shards int
 }
 
 // Config is the complete system configuration.
@@ -363,6 +397,9 @@ func (c Config) Validate() error {
 	switch {
 	case c.Mesh.Width < 2 || c.Mesh.Height < 2:
 		return fmt.Errorf("config: mesh %dx%d too small (min 2x2)", c.Mesh.Width, c.Mesh.Height)
+	case c.Mesh.Nodes() > MaxMeshTiles:
+		return fmt.Errorf("config: mesh %dx%d has %d tiles (max %d)",
+			c.Mesh.Width, c.Mesh.Height, c.Mesh.Nodes(), MaxMeshTiles)
 	case c.NoC.VCsPerPort < 2 || c.NoC.VCsPerPort%2 != 0:
 		return fmt.Errorf("config: VCsPerPort %d must be even and >= 2", c.NoC.VCsPerPort)
 	case c.NoC.BufferDepth < 1:
@@ -448,6 +485,16 @@ func (c Config) Validate() error {
 	}
 	if c.Run.MeasureCycles <= 0 || c.Run.WarmupCycles < 0 {
 		return errors.New("config: run lengths invalid")
+	}
+	if k := c.Run.Shards; k != 0 {
+		switch {
+		case k < 0 || k&(k-1) != 0:
+			return fmt.Errorf("config: Shards %d must be a power of two", k)
+		case k > 64:
+			return fmt.Errorf("config: Shards %d too large (max 64)", k)
+		case k > c.Mesh.Nodes():
+			return fmt.Errorf("config: Shards %d exceeds the %d mesh tiles", k, c.Mesh.Nodes())
+		}
 	}
 	return nil
 }

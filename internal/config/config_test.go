@@ -8,6 +8,8 @@ func TestBaselinePresetsValid(t *testing.T) {
 		"baseline16":      Baseline16(),
 		"schemes-on":      Baseline32().WithSchemes(true, true),
 		"2-stage routers": func() Config { c := Baseline32(); c.NoC.Pipeline = Pipeline2; return c }(),
+		"sharded":         func() Config { c := Baseline32(); c.Run.Shards = 4; return c }(),
+		"16x16 mesh":      func() Config { c := Baseline32(); c.Mesh = Mesh{Width: 16, Height: 16}; return c }(),
 	} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("%s: %v", name, err)
@@ -49,6 +51,7 @@ func TestValidationRejects(t *testing.T) {
 		mutate func(*Config)
 	}{
 		{"tiny mesh", func(c *Config) { c.Mesh.Width = 1 }},
+		{"huge mesh", func(c *Config) { c.Mesh.Width = 64; c.Mesh.Height = 64 }},
 		{"odd VCs", func(c *Config) { c.NoC.VCsPerPort = 3 }},
 		{"zero buffers", func(c *Config) { c.NoC.BufferDepth = 0 }},
 		{"narrow flits", func(c *Config) { c.NoC.FlitBits = 32 }},
@@ -74,12 +77,57 @@ func TestValidationRejects(t *testing.T) {
 		{"S2 zero window", func(c *Config) { c.S2.Enabled = true; c.S2.HistoryWindow = 0 }},
 		{"S2 zero threshold", func(c *Config) { c.S2.Enabled = true; c.S2.IdleThreshold = 0 }},
 		{"no measurement", func(c *Config) { c.Run.MeasureCycles = 0 }},
+		{"negative shards", func(c *Config) { c.Run.Shards = -2 }},
+		{"non-pow2 shards", func(c *Config) { c.Run.Shards = 3 }},
+		{"too many shards", func(c *Config) { c.Run.Shards = 128 }},
+		{"shards > tiles", func(c *Config) { c.Mesh = Mesh{Width: 2, Height: 2}; c.Run.Shards = 8 }},
 	}
 	for _, tc := range cases {
 		cfg := Baseline32()
 		tc.mutate(&cfg)
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestShardGrid(t *testing.T) {
+	cases := []struct {
+		w, h, k        int
+		wantSx, wantSy int
+	}{
+		{8, 4, 1, 1, 1},
+		{8, 4, 2, 2, 1}, // halve the longer dimension first
+		{8, 4, 4, 2, 2},
+		{8, 4, 8, 4, 2},
+		{4, 4, 4, 2, 2},
+		{4, 8, 2, 1, 2},
+		{16, 16, 16, 4, 4},
+	}
+	for _, tc := range cases {
+		m := Mesh{Width: tc.w, Height: tc.h}
+		sx, sy := m.ShardGrid(tc.k)
+		if sx != tc.wantSx || sy != tc.wantSy {
+			t.Errorf("ShardGrid(%dx%d, k=%d) = %dx%d, want %dx%d",
+				tc.w, tc.h, tc.k, sx, sy, tc.wantSx, tc.wantSy)
+			continue
+		}
+		// Every tile must land in a valid shard, and every shard must be
+		// non-empty (rectangular partition covers the mesh).
+		seen := make([]int, sx*sy)
+		for y := 0; y < tc.h; y++ {
+			for x := 0; x < tc.w; x++ {
+				s := m.ShardOf(x, y, sx, sy)
+				if s < 0 || s >= sx*sy {
+					t.Fatalf("ShardOf(%d,%d) = %d out of range [0,%d)", x, y, s, sx*sy)
+				}
+				seen[s]++
+			}
+		}
+		for s, n := range seen {
+			if n == 0 {
+				t.Errorf("ShardGrid(%dx%d, k=%d): shard %d empty", tc.w, tc.h, tc.k, s)
+			}
 		}
 	}
 }

@@ -111,6 +111,7 @@ func (c Config) Key() string {
 	appendInt(c.Run.WarmupCycles)
 	appendInt(c.Run.MeasureCycles)
 	appendInt(c.Run.Seed)
+	appendInt(int64(c.Run.Shards))
 	appendBool(c.AppAwareNet)
 
 	return string(b)

@@ -135,6 +135,37 @@ func TestBankHistoryProperty(t *testing.T) {
 	}
 }
 
+func TestBankHistoryWindowBoundary(t *testing.T) {
+	// Pins the window down as the half-open interval (now-T, now] at the
+	// paper's T=2000: a stamp counts as recent iff now-t < T, so a request
+	// sent exactly T cycles ago has just aged out. A drift to <= or to a
+	// closed interval silently shifts every Scheme-2 tagging decision.
+	const T = 2000
+	cases := []struct {
+		name  string
+		stamp int64 // record time
+		now   int64 // query time
+		idle  bool
+	}{
+		{"same cycle", 5000, 5000, false},
+		{"one cycle old", 5000, 5001, false},
+		{"last cycle inside window", 5000, 5000 + T - 1, false},
+		{"exactly T cycles old ages out", 5000, 5000 + T, true},
+		{"T+1 cycles old", 5000, 5000 + T + 1, true},
+		{"stamp at cycle zero, now T-1", 0, T - 1, false},
+		{"stamp at cycle zero, now T", 0, T, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewBankHistory(1, T, 1)
+			h.Record(0, tc.stamp)
+			if got := h.Idle(0, tc.now); got != tc.idle {
+				t.Fatalf("Idle(stamp=%d, now=%d) = %v, want %v", tc.stamp, tc.now, got, tc.idle)
+			}
+		})
+	}
+}
+
 func TestScheme2ClassifyRecords(t *testing.T) {
 	cfg := config.Baseline32().S2
 	cfg.Enabled = true

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nocmem/internal/config"
 	"nocmem/internal/noc"
@@ -106,10 +107,16 @@ func (s *Scheme1) Threshold(coreID int) int64 { return s.published[coreID] }
 // Classify decides the network priority of a response message about to be
 // injected by a memory controller, given the message's so-far delay (which
 // at that point includes the memory queueing and service time).
+//
+// Under sharded stepping Classify runs concurrently from the shard workers
+// (one per memory-controller-owning shard). published is only written in the
+// serial section (Tick) and the counters are plain commutative tallies, so
+// atomic increments are the only synchronization needed and the totals are
+// independent of shard count.
 func (s *Scheme1) Classify(coreID int, soFarAge int64) noc.Priority {
-	s.Checked++
+	atomic.AddInt64(&s.Checked, 1)
 	if soFarAge > s.published[coreID] {
-		s.Tagged++
+		atomic.AddInt64(&s.Tagged, 1)
 		return noc.High
 	}
 	return noc.Normal

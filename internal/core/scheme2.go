@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nocmem/internal/config"
 	"nocmem/internal/noc"
@@ -42,6 +43,12 @@ func (h *BankHistory) Record(bank int, now int64) {
 
 // Idle reports whether fewer than th requests were sent to the bank within
 // the last window cycles — the node's local estimate that the bank is idle.
+//
+// The window is pinned as the half-open interval (now-window, now]: a stamp
+// counts as recent iff now-t < window, so a request sent exactly window
+// cycles ago has just aged out. Tests lock this boundary down at the
+// paper's T=2000; changing it silently shifts every Scheme-2 tagging
+// decision.
 func (h *BankHistory) Idle(bank int, now int64) bool {
 	recent := 0
 	for _, t := range h.stamps[bank] {
@@ -74,13 +81,18 @@ func NewScheme2(cfg config.Scheme2, nodes, banks int) *Scheme2 {
 // Classify decides the priority of an off-chip request injected at the given
 // node toward the given global bank, and records the send in the node's
 // table.
+//
+// Under sharded stepping Classify runs concurrently from the shard workers,
+// always with node = the injecting L2 tile, so each table is only touched by
+// its owning shard; the counters are commutative tallies kept atomic, making
+// the totals independent of shard count.
 func (s *Scheme2) Classify(node, bank int, now int64) noc.Priority {
-	s.Checked++
+	atomic.AddInt64(&s.Checked, 1)
 	t := s.tables[node]
 	idle := t.Idle(bank, now)
 	t.Record(bank, now)
 	if idle {
-		s.Tagged++
+		atomic.AddInt64(&s.Tagged, 1)
 		return noc.High
 	}
 	return noc.Normal

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"nocmem/internal/bitset"
 	"nocmem/internal/config"
 )
 
@@ -15,6 +16,15 @@ type Stats struct {
 	LatencySum   int64 // sum of per-packet network latencies
 	HighInjected int64
 	InFlight     int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Injected += o.Injected
+	s.Delivered += o.Delivered
+	s.FlitHops += o.FlitHops
+	s.LatencySum += o.LatencySum
+	s.HighInjected += o.HighInjected
+	s.InFlight += o.InFlight
 }
 
 // AvgLatency returns the mean delivered-packet network latency.
@@ -37,40 +47,53 @@ type Network struct {
 	w, h    int
 	routers []*router
 	sinks   []Sink
-	stats   Stats
-	pktSeq  uint64
+
+	// shards partition the routers for (optionally parallel) stepping; see
+	// netShard. There is always at least one shard — New builds a single
+	// shard holding every router, SetPartition rebuilds the split.
+	shards []*netShard
 
 	// eventDriven switches Tick from the dense sweep over all routers to
-	// iterating only the active set. active is the bitmask of routers with
-	// any work (buffered flits, pending injections, in-flight arrivals or
-	// credits); a router leaves the set when idle() and re-enters through
-	// wake, which is called at every point work can appear (Inject, arrival
-	// hand-off, credit return). Spurious wakes are harmless — a ticked
-	// router with nothing due changes no state — so the mask may
-	// over-approximate but must never under-approximate.
+	// iterating only the per-shard active sets. A router leaves its set when
+	// idle() and re-enters through wake, which is called at every point work
+	// can appear (Inject, arrival hand-off, credit return, boundary drain).
+	// Spurious wakes are harmless — a ticked router with nothing due changes
+	// no state — so the sets may over-approximate but never under-approximate.
 	eventDriven bool
-	active      uint64
+}
 
-	// flitFree recycles flits (a packet's flits die at ejection, one
-	// packet's worth per delivery). The network is single-goroutine, so a
-	// plain free list suffices and keeps the router tick allocation-free
-	// in steady state.
+// netShard owns a disjoint subset of routers. Everything a router mutates
+// while ticking lives either in the router itself or here — active set,
+// stats, flit pool — so shard workers never write shared state. The only
+// cross-shard traffic is boundary flits and credits, which a dispatching
+// router pushes into per-directed-edge SPSC queues (see boundary.go); the
+// owning shard drains its incoming queues in fixed order after the tick
+// barrier (DrainShard).
+type netShard struct {
+	id      int
+	members []int      // router ids owned, ascending
+	active  bitset.Set // global router indices; only members' bits are set
+	stats   Stats      // counters for events executed by this shard's routers
+	edgesIn []*edgeQueue
+
+	// flitFree recycles flits. A flit born in one shard may die (eject) in
+	// another; pools migrate objects freely since recycled flits are zeroed.
 	flitFree []*flit
 }
 
-func (n *Network) getFlit() *flit {
-	if l := len(n.flitFree); l > 0 {
-		f := n.flitFree[l-1]
-		n.flitFree[l-1] = nil
-		n.flitFree = n.flitFree[:l-1]
+func (sh *netShard) getFlit() *flit {
+	if l := len(sh.flitFree); l > 0 {
+		f := sh.flitFree[l-1]
+		sh.flitFree[l-1] = nil
+		sh.flitFree = sh.flitFree[:l-1]
 		return f
 	}
 	return &flit{}
 }
 
-func (n *Network) putFlit(f *flit) {
+func (sh *netShard) putFlit(f *flit) {
 	*f = flit{}
-	n.flitFree = append(n.flitFree, f)
+	sh.flitFree = append(sh.flitFree, f)
 }
 
 // New builds the mesh. Sinks default to discarding packets; endpoints
@@ -113,42 +136,126 @@ func New(mesh config.Mesh, cfg config.NoC) (*Network, error) {
 			r.neighbor[PortEast] = n.routers[r.id+1]
 		}
 	}
+	n.SetPartition(nil)
 	return n, nil
 }
 
+// SetPartition rebuilds the shard split. shardOf maps router id -> shard
+// index (indices must cover 0..max contiguously); nil means one shard owning
+// everything. Cross-shard adjacencies get one SPSC edge queue per direction,
+// created in fixed (source router ascending, then port ascending) order and
+// appended to the destination shard's drain list in that same order, which is
+// what makes the boundary merge deterministic regardless of worker timing.
+// Accumulated stats and pooled flits are folded into shard 0.
+func (n *Network) SetPartition(shardOf []int) {
+	if shardOf != nil && len(shardOf) != len(n.routers) {
+		panic(fmt.Sprintf("noc: partition over %d routers, mesh has %d", len(shardOf), len(n.routers)))
+	}
+	k := 1
+	for _, s := range shardOf {
+		if s < 0 {
+			panic(fmt.Sprintf("noc: negative shard index %d", s))
+		}
+		if s+1 > k {
+			k = s + 1
+		}
+	}
+	var carryStats Stats
+	var carryFlits []*flit
+	for _, sh := range n.shards {
+		carryStats.add(sh.stats)
+		carryFlits = append(carryFlits, sh.flitFree...)
+	}
+	shards := make([]*netShard, k)
+	for i := range shards {
+		shards[i] = &netShard{id: i, active: bitset.New(len(n.routers))}
+	}
+	for id, r := range n.routers {
+		s := 0
+		if shardOf != nil {
+			s = shardOf[id]
+		}
+		shards[s].members = append(shards[s].members, id)
+		r.sh = shards[s]
+		r.xqCfg = [NumPorts]*edgeQueue{}
+	}
+	for _, r := range n.routers {
+		for p := PortNorth; p < NumPorts; p++ {
+			nb := r.neighbor[p]
+			if nb == nil || nb.sh == r.sh {
+				continue
+			}
+			q := &edgeQueue{dst: nb.id}
+			r.xqCfg[p] = q
+			nb.sh.edgesIn = append(nb.sh.edgesIn, q)
+		}
+	}
+	shards[0].stats = carryStats
+	shards[0].flitFree = carryFlits
+	n.shards = shards
+	n.applyEventMode()
+}
+
+// NumShards returns the partition's shard count.
+func (n *Network) NumShards() int { return len(n.shards) }
+
 // SetEventDriven switches between the dense Tick (every router, every cycle)
-// and active-set ticking. Enabling it marks every router active; the set
-// then shrinks as routers drain. Both modes produce identical results; the
-// dense sweep is retained as the equivalence reference. Event-driven mode is
-// limited to 64 routers (the active-set bitmask width).
+// and active-set ticking. Enabling it marks every router active; the sets
+// then shrink as routers drain. Both modes produce identical results; the
+// dense sweep is retained as the equivalence reference.
 func (n *Network) SetEventDriven(on bool) {
-	if on && len(n.routers) > 64 {
-		panic(fmt.Sprintf("noc: event-driven ticking supports at most 64 routers, got %d", len(n.routers)))
-	}
 	n.eventDriven = on
-	n.active = 0
-	if on {
-		n.active = allMask(len(n.routers))
+	n.applyEventMode()
+}
+
+// applyEventMode re-derives the mode-dependent state: per-shard active sets
+// (full in event mode, unused in dense mode) and the routers' live boundary
+// queues. Boundary queues are active only in event mode with more than one
+// shard — the dense sweep is single-goroutine and appends across shards
+// directly — so any parked items are flushed to their destinations first.
+func (n *Network) applyEventMode() {
+	sharded := n.eventDriven && len(n.shards) > 1
+	if !sharded {
+		for i := range n.shards {
+			n.DrainShard(i)
+		}
+	}
+	for _, sh := range n.shards {
+		sh.active.Clear()
+		if n.eventDriven {
+			for _, id := range sh.members {
+				sh.active.Add(id)
+			}
+		}
+	}
+	for _, r := range n.routers {
+		if sharded {
+			r.xq = r.xqCfg
+		} else {
+			r.xq = [NumPorts]*edgeQueue{}
+		}
 	}
 }
 
-// allMask returns a bitmask with the low k bits set (k <= 64).
-func allMask(k int) uint64 {
-	if k >= 64 {
-		return ^uint64(0)
-	}
-	return 1<<uint(k) - 1
-}
-
-// wake marks a router as having (possibly future) work.
+// wake marks a router as having (possibly future) work. Only ever called for
+// routers of the shard executing the current phase; cross-shard activation
+// happens in DrainShard.
 func (n *Network) wake(id int) {
-	n.active |= 1 << uint(id)
+	r := n.routers[id]
+	r.sh.active.Add(id)
 }
 
-// RoutersQuiet reports whether the active set is empty, i.e. no flit is
-// buffered, injecting, or in flight anywhere. Only meaningful in
-// event-driven mode.
-func (n *Network) RoutersQuiet() bool { return n.active == 0 }
+// RoutersQuiet reports whether every shard's active set is empty, i.e. no
+// flit is buffered, injecting, or in flight anywhere. Only meaningful in
+// event-driven mode, between cycles (after all shards drained).
+func (n *Network) RoutersQuiet() bool {
+	for _, sh := range n.shards {
+		if !sh.active.Empty() {
+			return false
+		}
+	}
+	return true
+}
 
 // Nodes returns the number of tiles.
 func (n *Network) Nodes() int { return len(n.routers) }
@@ -183,36 +290,39 @@ func (n *Network) SetSink(node int, s Sink) {
 
 // Inject offers a packet to its source tile's outbox at the given cycle.
 // The packet starts moving through the router on the next network tick.
+// Must be called by the goroutine stepping the source tile's shard.
 func (n *Network) Inject(p *Packet, now int64) error {
 	if err := p.Validate(len(n.routers)); err != nil {
 		return err
 	}
+	r := n.routers[p.Src]
 	if p.ID == 0 {
-		n.pktSeq++
-		p.ID = n.pktSeq
+		// Per-router sequence, namespaced by source so IDs stay unique
+		// mesh-wide without a shared counter. IDs only label diagnostics;
+		// nothing orders or hashes on them.
+		r.pktSeq++
+		p.ID = uint64(p.Src+1)<<32 | r.pktSeq
 	}
 	p.InjectedAt = now
 	p.EjectedAt = 0
 	p.Hops = 0
 	p.ejectedFlits = 0
-	r := n.routers[p.Src]
 	// The outbox is priority-ordered: endpoints inject expedited messages
 	// first (stable within a class, so normal traffic keeps FIFO order).
 	r.outbox[p.VNet].push(p)
-	n.wake(p.Src)
-	n.stats.Injected++
-	n.stats.InFlight++
+	r.sh.active.Add(p.Src)
+	r.sh.stats.Injected++
+	r.sh.stats.InFlight++
 	if p.Priority == High {
-		n.stats.HighInjected++
+		r.sh.stats.HighInjected++
 	}
 	return nil
 }
 
 // Tick advances every router (dense mode) or every active router
-// (event-driven mode) by one cycle. Routers activated mid-sweep by an
-// earlier router's dispatch only gained future-dated work (arrivals land at
-// now+div+1, credits at now+1), so skipping them until the next cycle is
-// equivalent to the dense sweep, where their tick this cycle is a no-op.
+// (event-driven mode) by one cycle, stepping the shards sequentially.
+// Parallel steppers instead call TickShard per worker, barrier, then
+// DrainShard per worker — the result is identical by construction.
 func (n *Network) Tick(now int64) {
 	if !n.eventDriven {
 		for _, r := range n.routers {
@@ -220,34 +330,88 @@ func (n *Network) Tick(now int64) {
 		}
 		return
 	}
-	for m := n.active; m != 0; {
-		i := bits.TrailingZeros64(m)
-		m &^= 1 << uint(i)
-		r := n.routers[i]
-		r.tick(now)
-		if r.idle() {
-			n.active &^= 1 << uint(i)
+	for i := range n.shards {
+		n.TickShard(i, now)
+	}
+	for i := range n.shards {
+		n.DrainShard(i)
+	}
+}
+
+// TickShard advances the active routers of one shard by one cycle. Routers
+// activated mid-sweep by an earlier router's dispatch only gained
+// future-dated work (arrivals land at now+div+1, credits at now+1), so
+// whether the sweep happens to reach them this cycle or not is immaterial —
+// their tick would change no state, exactly as in the dense sweep.
+func (n *Network) TickShard(shard int, now int64) {
+	sh := n.shards[shard]
+	for wi := range sh.active {
+		w := sh.active[wi]
+		for w != 0 {
+			id := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			r := n.routers[id]
+			r.tick(now)
+			if r.idle() {
+				sh.active.Remove(id)
+			}
 		}
+	}
+}
+
+// DrainShard moves boundary items queued by neighboring shards' routers into
+// this shard's router state, waking the receivers. Queues are visited in the
+// fixed order SetPartition built, and each queue is FIFO, so the merge is
+// deterministic. Every item is future-dated relative to the cycle that
+// produced it, so draining between cycles is equivalent to the sequential
+// stepper's direct append. Must be called by this shard's worker, after the
+// barrier that ends the tick phase.
+func (n *Network) DrainShard(shard int) {
+	sh := n.shards[shard]
+	for _, q := range sh.edgesIn {
+		if len(q.items) == 0 {
+			continue
+		}
+		r := n.routers[q.dst]
+		for _, it := range q.items {
+			if it.f != nil {
+				r.arrivals[it.port] = append(r.arrivals[it.port], arrival{f: it.f, vc: it.vc, at: it.at})
+			} else {
+				r.credits = append(r.credits, creditMsg{port: it.port, vc: it.vc, at: it.at})
+			}
+		}
+		sh.active.Add(q.dst)
+		q.items = q.items[:0]
 	}
 }
 
 // complete is called by a router when a packet's tail flit ejects.
 func (n *Network) complete(p *Packet, at int64) {
-	n.stats.Delivered++
-	n.stats.InFlight--
-	n.stats.LatencySum += p.NetLatency()
+	sh := n.routers[p.Dst].sh
+	sh.stats.Delivered++
+	sh.stats.InFlight--
+	sh.stats.LatencySum += p.NetLatency()
 	if s := n.sinks[p.Dst]; s != nil {
 		s(p, at)
 	}
 }
 
-// Stats returns a copy of the counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns the summed counters. Injections count at the source shard
+// and deliveries at the destination shard, so per-shard InFlight values can
+// be negative; the sum is exact.
+func (n *Network) Stats() Stats {
+	var out Stats
+	for _, sh := range n.shards {
+		out.add(sh.stats)
+	}
+	return out
+}
 
 // ResetStats zeroes the cumulative counters, preserving in-flight tracking.
 func (n *Network) ResetStats() {
-	inFlight := n.stats.InFlight
-	n.stats = Stats{InFlight: inFlight}
+	for _, sh := range n.shards {
+		sh.stats = Stats{InFlight: sh.stats.InFlight}
+	}
 }
 
 // LinkLoad reports, for every router, the flits forwarded per output port
@@ -279,8 +443,15 @@ func (n *Network) MaxLinkLoad() int64 {
 // Quiesce verifies that no packet is buffered, in flight or awaiting
 // injection anywhere; used by tests to prove message conservation.
 func (n *Network) Quiesce() error {
-	if n.stats.InFlight != 0 {
-		return fmt.Errorf("noc: %d packets still in flight", n.stats.InFlight)
+	if inFlight := n.Stats().InFlight; inFlight != 0 {
+		return fmt.Errorf("noc: %d packets still in flight", inFlight)
+	}
+	for _, sh := range n.shards {
+		for _, q := range sh.edgesIn {
+			if len(q.items) != 0 {
+				return fmt.Errorf("noc: %d boundary items undrained toward router %d", len(q.items), q.dst)
+			}
+		}
 	}
 	for _, r := range n.routers {
 		if !r.idle() {

@@ -85,6 +85,17 @@ type inVC struct {
 	outVC        int
 	vaEligibleAt int64
 	saEligibleAt int64
+
+	// pktAge is the packet's so-far delay as carried by its header when it
+	// reached the front of this VC. Arbitration for the following body and
+	// tail flits uses this snapshot — a real switch only knows the age
+	// field the header brought past it, not updates the header accrues
+	// downstream. The snapshot is also what makes sharded stepping exact:
+	// Packet.Age is written by whichever router currently holds the header,
+	// and reading it live from another router's arbitration would race
+	// across shards (and made the dense sweep's result depend on router id
+	// order).
+	pktAge int64
 }
 
 func (v *inVC) front() *flit {
@@ -111,6 +122,16 @@ type router struct {
 	id   int
 	x, y int
 	net  *Network
+	sh   *netShard // owning shard; all mutable tick state stays shard-local
+
+	// pktSeq numbers packets injected at this router (see Inject).
+	pktSeq uint64
+
+	// xq holds, per output port, the boundary queue toward a cross-shard
+	// neighbor — non-nil only in sharded event mode. xqCfg is the same set
+	// as built by SetPartition; applyEventMode swaps it in and out.
+	xq    [NumPorts]*edgeQueue
+	xqCfg [NumPorts]*edgeQueue
 
 	// div is the clock divisor: the router advances only on cycles
 	// divisible by div, stretching every pipeline stage accordingly.
@@ -133,6 +154,12 @@ type router struct {
 	// flitsOut counts flits forwarded per output port (Local = ejections),
 	// for link-utilization reporting.
 	flitsOut [NumPorts]int64
+
+	// ejPkt locks the local ejection port to one packet from header until
+	// tail: the sink reassembles packets, so flits of competing packets are
+	// not interleaved into it. (Matches the emergent behavior of age-based
+	// arbitration, where a draining packet's accumulated age kept it ahead.)
+	ejPkt *Packet
 
 	// Per-tick scratch buffers, reused to keep the hot path allocation-free.
 	refsBuf []vcRef
@@ -241,6 +268,7 @@ func (r *router) onNewFront(v *inVC, now int64) {
 		return
 	}
 	v.routed = true
+	v.pktAge = f.pkt.Age
 	v.adaptive = r.net.cfg.Routing == config.RoutingWestFirst
 	if v.adaptive {
 		v.outPort = r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet)
@@ -345,7 +373,7 @@ func (r *router) fillInjections(now int64) {
 		if len(v.buf) >= r.net.cfg.BufferDepth {
 			continue
 		}
-		f := r.net.getFlit()
+		f := r.sh.getFlit()
 		*f = flit{pkt: s.pkt, seq: s.next, tail: s.next == s.pkt.NumFlits-1, routerEntry: now}
 		if f.header() {
 			// The wait for a free VC is part of the source router's
@@ -412,7 +440,7 @@ func (r *router) allocateVCs(refs []vcRef, now int64) {
 			// state until VC allocation succeeds.
 			v.outPort = r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet)
 		}
-		reqs[v.outPort] = append(reqs[v.outPort], vaReq{ref, r.makeCandidate(f, now, ref.port*64+ref.vc)})
+		reqs[v.outPort] = append(reqs[v.outPort], vaReq{ref, r.makeCandidate(v, f, now, ref.port*64+ref.vc)})
 	}
 	for p := 0; p < NumPorts; p++ {
 		if len(reqs[p]) == 0 {
@@ -484,7 +512,7 @@ func (r *router) allocateSwitch(refs []vcRef, now int64) {
 		if !r.saReady(v, f, now) {
 			continue
 		}
-		c := r.makeCandidate(f, now, ref.port*64+ref.vc)
+		c := r.makeCandidate(v, f, now, ref.port*64+ref.vc)
 		if w := &phase1[ref.port]; !w.ok || c.beats(w.c, r.net.arb) {
 			*w = winner{ref, c, true}
 		}
@@ -527,7 +555,9 @@ func (r *router) saReady(v *inVC, f *flit, now int64) bool {
 		}
 	}
 	if v.outPort == PortLocal {
-		return true // ejection always has room
+		// Ejection always has room, but mid-reassembly the port belongs to
+		// the packet being ejected.
+		return r.ejPkt == nil || r.ejPkt == f.pkt
 	}
 	return r.out[v.outPort][v.outVC].credits > 0
 }
@@ -554,25 +584,45 @@ func (r *router) dispatch(ref vcRef, now int64) {
 	r.flitsOut[v.outPort]++
 	ejected := v.outPort == PortLocal
 	if ejected {
+		if f.tail {
+			r.ejPkt = nil
+		} else if f.header() {
+			r.ejPkt = pkt
+		}
 		r.eject(f, now)
 	} else {
-		nb := r.neighbor[v.outPort]
 		slot := &r.out[v.outPort][v.outVC]
 		slot.credits--
-		nb.arrivals[opposite(v.outPort)] = append(nb.arrivals[opposite(v.outPort)],
-			arrival{f: f, vc: v.outVC, at: now + r.div + 1})
-		r.net.wake(nb.id)
+		// A cross-shard neighbor's state belongs to another worker: hand
+		// the flit through the boundary queue instead of appending directly.
+		// Same-shard appends keep the direct path — each arrivals[port]
+		// queue has a single statically-known producer either way, so FIFO
+		// order is preserved.
+		if q := r.xq[v.outPort]; q != nil {
+			q.push(boundaryItem{f: f, port: opposite(v.outPort), vc: v.outVC, at: now + r.div + 1})
+		} else {
+			nb := r.neighbor[v.outPort]
+			nb.arrivals[opposite(v.outPort)] = append(nb.arrivals[opposite(v.outPort)],
+				arrival{f: f, vc: v.outVC, at: now + r.div + 1})
+			r.net.wake(nb.id)
+		}
 		if f.tail {
 			slot.owner = nil
 		}
-		r.net.stats.FlitHops++
+		r.sh.stats.FlitHops++
 	}
 
-	// Return a credit upstream for the freed buffer slot.
+	// Return a credit upstream for the freed buffer slot. Credit application
+	// is commutative (each entry gates on its own at, then increments a
+	// counter), so the boundary detour cannot change results.
 	if ref.port != PortLocal {
-		up := r.neighbor[ref.port]
-		up.credits = append(up.credits, creditMsg{port: opposite(ref.port), vc: ref.vc, at: now + 1})
-		r.net.wake(up.id)
+		if q := r.xq[ref.port]; q != nil {
+			q.push(boundaryItem{port: opposite(ref.port), vc: ref.vc, at: now + 1})
+		} else {
+			up := r.neighbor[ref.port]
+			up.credits = append(up.credits, creditMsg{port: opposite(ref.port), vc: ref.vc, at: now + 1})
+			r.net.wake(up.id)
+		}
 	}
 
 	if f.tail {
@@ -582,7 +632,7 @@ func (r *router) dispatch(ref vcRef, now int64) {
 	}
 	if ejected {
 		// The flit's life ends at the local sink; recycle it.
-		r.net.putFlit(f)
+		r.sh.putFlit(f)
 	}
 	if len(v.buf) > 0 {
 		r.onNewFront(v, now)

@@ -75,6 +75,24 @@ func (c *Collector) done(t *Txn) {
 	}
 }
 
+// Merge folds another collector of the same shape into this one. Every
+// merged quantity is an integer counter or a float64 sum of integer-valued
+// samples far below 2^53, so the merge is exact and the combined result is
+// independent of the number of shards the measurements were split across.
+func (c *Collector) Merge(o *Collector) {
+	for i := range c.RoundTrip {
+		c.RoundTrip[i].Merge(o.RoundTrip[i])
+		c.SoFar[i].Merge(o.SoFar[i])
+		c.Breakdown[i].Merge(o.Breakdown[i])
+		c.OffChip[i] += o.OffChip[i]
+		c.L2Hits[i] += o.L2Hits[i]
+		c.AvgDelay[i].Merge(o.AvgDelay[i])
+	}
+	c.RetHigh.Merge(o.RetHigh)
+	c.RetNormal.Merge(o.RetNormal)
+	c.Invalidations += o.Invalidations
+}
+
 // soFar records the so-far delay of a response at MC injection time.
 func (c *Collector) soFar(coreID int, age int64) {
 	if !c.measuring {

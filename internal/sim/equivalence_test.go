@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -10,10 +11,12 @@ import (
 )
 
 // runOnce builds a simulator over the given workload, forces the chosen
-// stepper, runs the configured window and returns the serialized summary plus
-// the raw result for field-level comparison.
-func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool) ([]byte, *Result) {
+// stepper and shard count, runs the configured window and returns the
+// serialized summary plus the raw result for field-level comparison.
+// shards <= 1 selects the sequential stepper.
+func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool, shards int) ([]byte, *Result) {
 	t.Helper()
+	cfg.Run.Shards = shards
 	s, err := New(cfg, apps)
 	if err != nil {
 		t.Fatal(err)
@@ -27,12 +30,31 @@ func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool) 
 	return buf.Bytes(), r
 }
 
-// TestEventDenseEquivalence is the scheduler's correctness oracle: the
-// event-driven stepper must reproduce the dense reference cycle for cycle —
+// expectSame fails the test unless the run labelled name matches the dense
+// reference byte for byte, including the raw core and network counters that
+// the summary aggregates away.
+func expectSame(t *testing.T, name string, refJSON []byte, ref *Result, gotJSON []byte, got *Result) {
+	t.Helper()
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatalf("%s summary differs from dense reference\n--- dense ---\n%s\n--- %s ---\n%s", name, refJSON, name, gotJSON)
+	}
+	if !reflect.DeepEqual(ref.CoreStats, got.CoreStats) {
+		t.Fatalf("%s core stats differ:\ndense %+v\n%s %+v", name, ref.CoreStats, name, got.CoreStats)
+	}
+	if ref.Net != got.Net {
+		t.Fatalf("%s network stats differ:\ndense %+v\n%s %+v", name, ref.Net, name, got.Net)
+	}
+}
+
+// TestEventDenseEquivalence is the scheduler's correctness oracle, now
+// three-way: the event-driven stepper AND the sharded parallel stepper (2
+// and 4 workers) must reproduce the dense reference cycle for cycle —
 // byte-identical summaries and identical core counters (which include the
 // stall and outstanding-instruction integrals the closed-form catch-up
 // reconstructs) — across workloads exercising idle tiles, hard-stalled
-// cores, saturation, both schemes and heterogeneous router clocks.
+// cores, saturation, both schemes and heterogeneous router clocks. Run
+// under -race (make ci), this doubles as the data-race oracle for the
+// boundary-queue construction.
 func TestEventDenseEquivalence(t *testing.T) {
 	base := smallConfig()
 
@@ -58,18 +80,47 @@ func TestEventDenseEquivalence(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			denseJSON, denseRes := runOnce(t, tc.cfg, tc.apps, true)
-			eventJSON, eventRes := runOnce(t, tc.cfg, tc.apps, false)
-			if !bytes.Equal(denseJSON, eventJSON) {
-				t.Fatalf("summaries differ\n--- dense ---\n%s\n--- event ---\n%s", denseJSON, eventJSON)
-			}
-			if !reflect.DeepEqual(denseRes.CoreStats, eventRes.CoreStats) {
-				t.Fatalf("core stats differ:\ndense %+v\nevent %+v", denseRes.CoreStats, eventRes.CoreStats)
-			}
-			if denseRes.Net != eventRes.Net {
-				t.Fatalf("network stats differ:\ndense %+v\nevent %+v", denseRes.Net, eventRes.Net)
+			denseJSON, denseRes := runOnce(t, tc.cfg, tc.apps, true, 1)
+			eventJSON, eventRes := runOnce(t, tc.cfg, tc.apps, false, 1)
+			expectSame(t, "event", denseJSON, denseRes, eventJSON, eventRes)
+			for _, shards := range []int{2, 4} {
+				gotJSON, gotRes := runOnce(t, tc.cfg, tc.apps, false, shards)
+				expectSame(t, fmt.Sprintf("sharded_%d", shards), denseJSON, denseRes, gotJSON, gotRes)
 			}
 		})
+	}
+}
+
+// TestLargeMeshRegression is the regression test for the headline bug: the
+// former uint64 active-set masks silently saturated at 64 tiles, so a 16x16
+// mesh ran with most of its tiles permanently excluded from event-driven
+// stepping and produced wrong results with no error. The widened bitset
+// implementation must instead simulate a 256-tile mesh correctly: the
+// event-driven and 4-way-sharded runs reproduce the dense reference, and
+// tiles beyond index 63 demonstrably make progress.
+func TestLargeMeshRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-tile equivalence run is slow")
+	}
+	cfg := smallConfig()
+	cfg.Mesh.Width, cfg.Mesh.Height = 16, 16
+	cfg.Run.WarmupCycles = 1_000
+	cfg.Run.MeasureCycles = 3_000
+	apps := make([]trace.Profile, cfg.Mesh.Nodes())
+	p := trace.MustLookup("mcf")
+	// Activity on both sides of the old 64-tile truncation boundary.
+	for _, tile := range []int{0, 20, 63, 64, 100, 200, 255} {
+		apps[tile] = p
+	}
+	denseJSON, denseRes := runOnce(t, cfg, apps, true, 1)
+	eventJSON, eventRes := runOnce(t, cfg, apps, false, 1)
+	expectSame(t, "event", denseJSON, denseRes, eventJSON, eventRes)
+	shardJSON, shardRes := runOnce(t, cfg, apps, false, 4)
+	expectSame(t, "sharded_4", denseJSON, denseRes, shardJSON, shardRes)
+	for _, tile := range []int{64, 100, 200, 255} {
+		if eventRes.CoreStats[tile].Retired == 0 {
+			t.Errorf("tile %d retired nothing under event stepping: the active set is truncated", tile)
+		}
 	}
 }
 

@@ -18,8 +18,9 @@ type mcPayload struct {
 // mcNode hosts one memory controller on a corner tile.
 type mcNode struct {
 	tile int
-	idx  int // controller index: position in Simulator.mcs and the active-set bitmask
+	idx  int // controller index: position in Simulator.mcs and the active set
 	s    *Simulator
+	sh   *simShard // owning shard (same as the hosting tile's)
 	ctl  *dram.Controller
 
 	// reqFree recycles dram.Request+mcPayload pairs: the controller drops
@@ -72,7 +73,7 @@ func (m *mcNode) accept(it inItem, now int64) {
 	// Re-activate a sleeping controller: accept runs during the node phase,
 	// after this cycle's MC phase, so the controller first considers the
 	// request next cycle — exactly as under dense stepping.
-	m.s.mcActive |= 1 << uint(m.idx)
+	m.sh.mcActive.Add(m.idx)
 }
 
 // complete is the controller's completion callback: reads become response
@@ -89,10 +90,10 @@ func (m *mcNode) complete(r *dram.Request, now int64) {
 	age := p.age + (now - p.arrival)
 	t.MemDone = now
 	t.SoFarAtMC = age
-	m.s.col.soFar(t.Core, age)
+	m.sh.col.soFar(t.Core, age)
 	pri := m.s.pol.ResponsePriority(t.Core, age) // Scheme-1 hook
 	t.RespPriority = pri
-	m.s.send(now, m.tile, p.respDst, m.s.cfg.ResponseFlits(),
+	m.sh.send(now, m.tile, p.respDst, m.s.cfg.ResponseFlits(),
 		noc.VNetResponse, pri, age, msgRespMCtoL2, t, t.Line)
 	m.reqFree = append(m.reqFree, r)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nocmem/internal/cache"
 	"nocmem/internal/cpu"
@@ -35,6 +36,7 @@ type l2Job struct {
 type node struct {
 	id int
 	s  *Simulator
+	sh *simShard // owning shard (stepping, pools, collector)
 
 	core *cpu.Core // nil on tiles without an application
 	l1   *cache.Cache
@@ -43,11 +45,20 @@ type node struct {
 	l2  *cache.Cache
 	l2m *cache.MSHRTable
 
+	// txnSeq numbers this tile's demand transactions; combined with the
+	// tile id it yields process-wide unique Txn IDs without any shared
+	// counter.
+	txnSeq uint64
+
 	// dir is the bank's slice of the sparse directory embedded in the
 	// inclusive L2: global line address -> bitmask of tiles whose L1 may
 	// hold the line. Clean L1 evictions are silent, so the mask
-	// over-approximates (standard for sparse directories).
-	dir map[uint64]uint64
+	// over-approximates (standard for sparse directories). Meshes of up to
+	// 64 tiles pack the mask into one word; larger ones use dirWide, with
+	// retired mask slices recycled through dirFree.
+	dir     map[uint64]uint64
+	dirWide map[uint64][]uint64
+	dirFree [][]uint64
 
 	inbox   []inItem // delivered packets not yet dispatched
 	l2Queue []inItem // requests waiting for the L2 bank port
@@ -75,31 +86,72 @@ func newNode(id int, s *Simulator) *node {
 	}
 	n.l1.SetLIPInsertion(cfg.L1.LIPInsertion)
 	n.l2.SetLIPInsertion(cfg.L2.LIPInsertion)
-	n.dir = make(map[uint64]uint64)
+	if cfg.Mesh.Nodes() <= 64 {
+		n.dir = make(map[uint64]uint64)
+	} else {
+		n.dirWide = make(map[uint64][]uint64)
+	}
 	return n
 }
 
 // dirAdd records that the given tile's L1 received a copy of the line.
 func (n *node) dirAdd(line uint64, tile int) {
-	n.dir[line] |= 1 << uint(tile)
+	if n.dir != nil {
+		n.dir[line] |= 1 << uint(tile)
+		return
+	}
+	mask, ok := n.dirWide[line]
+	if !ok {
+		if l := len(n.dirFree); l > 0 {
+			mask = n.dirFree[l-1]
+			n.dirFree[l-1] = nil
+			n.dirFree = n.dirFree[:l-1]
+		} else {
+			mask = make([]uint64, (n.s.cfg.Mesh.Nodes()+63)/64)
+		}
+		n.dirWide[line] = mask
+	}
+	mask[tile/64] |= 1 << uint(tile%64)
+}
+
+// sendInv dispatches one inclusion-enforcing L1 invalidation.
+func (n *node) sendInv(line uint64, tile int, now int64) {
+	n.sh.send(now, n.id, tile, n.s.cfg.RequestFlits(),
+		noc.VNetRequest, noc.Normal, 0, msgInvL2toL1, nil, line)
+	n.sh.col.Invalidations++
 }
 
 // backInvalidate enforces inclusion: when the L2 evicts a line, every L1
-// that may hold a copy receives a 1-flit invalidation.
+// that may hold a copy receives a 1-flit invalidation, in ascending tile
+// order on both directory representations.
 func (n *node) backInvalidate(line uint64, now int64) {
-	mask, ok := n.dir[line]
+	if n.dir != nil {
+		mask, ok := n.dir[line]
+		if !ok {
+			return
+		}
+		delete(n.dir, line)
+		for tile := 0; mask != 0; tile++ {
+			if mask&1 != 0 {
+				n.sendInv(line, tile, now)
+			}
+			mask >>= 1
+		}
+		return
+	}
+	mask, ok := n.dirWide[line]
 	if !ok {
 		return
 	}
-	delete(n.dir, line)
-	for tile := 0; mask != 0; tile++ {
-		if mask&1 != 0 {
-			n.s.send(now, n.id, tile, n.s.cfg.RequestFlits(),
-				noc.VNetRequest, noc.Normal, 0, msgInvL2toL1, nil, line)
-			n.s.col.Invalidations++
+	delete(n.dirWide, line)
+	for wi, w := range mask {
+		mask[wi] = 0
+		for w != 0 {
+			n.sendInv(line, wi*64+bits.TrailingZeros64(w), now)
+			w &= w - 1
 		}
-		mask >>= 1
 	}
+	n.dirFree = append(n.dirFree, mask)
 }
 
 // deliver is the tile's network sink. A sleeping tile schedules a timed wake
@@ -108,8 +160,8 @@ func (n *node) backInvalidate(line uint64, now int64) {
 // so the inbox stays sorted by at.)
 func (n *node) deliver(p *noc.Packet, at int64) {
 	n.inbox = append(n.inbox, inItem{pkt: p, at: at})
-	if !n.s.dense && n.s.nodeActive&(1<<uint(n.id)) == 0 {
-		n.s.pushWake(at, wakeNode, n.id)
+	if !n.s.dense && !n.sh.nodeActive.Has(n.id) {
+		n.sh.pushWake(at, wakeNode, n.id)
 	}
 }
 
@@ -134,18 +186,18 @@ func (n *node) dispatchInbox(now int64) {
 				panic(fmt.Sprintf("sim: tile %d received %v but hosts no memory controller", n.id, m.kind))
 			}
 			mc.accept(it, now)
-			n.s.recycle(it.pkt)
+			n.sh.recycle(it.pkt)
 		case msgRespL2toL1:
 			n.fillL1(it, now)
-			n.s.recycle(it.pkt)
+			n.sh.recycle(it.pkt)
 		case msgInvL2toL1:
 			// Inclusive-L2 back-invalidation: drop the L1 copy; a
 			// dirty copy goes straight to memory (its L2 home is gone).
 			if n.l1.Invalidate(m.line) {
-				n.s.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.ResponseFlits(),
+				n.sh.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.ResponseFlits(),
 					noc.VNetRequest, noc.Normal, 0, msgWBL2toMC, nil, m.line)
 			}
-			n.s.recycle(it.pkt)
+			n.sh.recycle(it.pkt)
 		default:
 			panic(fmt.Sprintf("sim: tile %d cannot handle message kind %v", n.id, m.kind))
 		}
@@ -190,7 +242,7 @@ func (n *node) finishL2(it inItem, now int64) {
 		if n.l2.Access(n.s.snuca.Local(m.line), false) {
 			n.dirAdd(m.line, t.Core)
 			n.respondToCore(t, t.AgeAtL2+(now-t.ReqAtL2), n.s.pol.BasePriority(t.Core), now)
-			n.s.recycle(it.pkt)
+			n.sh.recycle(it.pkt)
 			return
 		}
 		n.missToMemory(it, now)
@@ -199,10 +251,10 @@ func (n *node) finishL2(it inItem, now int64) {
 		if !n.l2.WritebackHit(n.s.snuca.Local(m.line)) {
 			// The line raced an L2 eviction (its back-invalidation is
 			// in flight toward us): forward the data to memory.
-			n.s.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.ResponseFlits(),
+			n.sh.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.ResponseFlits(),
 				noc.VNetRequest, noc.Normal, 0, msgWBL2toMC, nil, m.line)
 		}
-		n.s.recycle(it.pkt)
+		n.sh.recycle(it.pkt)
 
 	case msgRespMCtoL2:
 		t := m.txn
@@ -210,7 +262,7 @@ func (n *node) finishL2(it inItem, now int64) {
 			victim := n.s.snuca.Global(v.Addr, n.id)
 			n.backInvalidate(victim, now)
 			if v.Dirty {
-				n.s.send(now, n.id, n.s.mcTileOf(victim), n.s.cfg.ResponseFlits(),
+				n.sh.send(now, n.id, n.s.mcTileOf(victim), n.s.cfg.ResponseFlits(),
 					noc.VNetRequest, noc.Normal, 0, msgWBL2toMC, nil, victim)
 			}
 		}
@@ -231,7 +283,7 @@ func (n *node) finishL2(it inItem, now int64) {
 			n.respondToCore(wt, it.pkt.Age+(now-it.at), it.pkt.Priority, now)
 		}
 		n.l2m.Release(mshr)
-		n.s.recycle(it.pkt)
+		n.sh.recycle(it.pkt)
 
 	default:
 		panic(fmt.Sprintf("sim: L2 bank %d cannot finish %v", n.id, m.kind))
@@ -250,20 +302,20 @@ func (n *node) missToMemory(it inItem, now int64) {
 		return
 	}
 	if !primary {
-		n.s.recycle(it.pkt)
+		n.sh.recycle(it.pkt)
 		return // coalesced onto an in-flight fetch
 	}
 	bank := n.s.amap.GlobalBank(m.line)
 	pri := n.s.pol.RequestPriority(n.id, bank, t.Core, now) // Scheme-2 + app-aware hook
-	n.s.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.RequestFlits(),
+	n.sh.send(now, n.id, n.s.mcTileOf(m.line), n.s.cfg.RequestFlits(),
 		noc.VNetRequest, pri, t.AgeAtL2+(now-t.ReqAtL2), msgReqL2toMC, t, m.line)
-	n.s.recycle(it.pkt)
+	n.sh.recycle(it.pkt)
 }
 
 // respondToCore sends the data response for one transaction back to its
 // requesting tile.
 func (n *node) respondToCore(t *Txn, age int64, pri noc.Priority, now int64) {
-	n.s.send(now, n.id, t.Core, n.s.cfg.ResponseFlits(),
+	n.sh.send(now, n.id, t.Core, n.s.cfg.ResponseFlits(),
 		noc.VNetResponse, pri, age, msgRespL2toL1, t, t.Line)
 }
 
@@ -276,7 +328,7 @@ func (n *node) fillL1(it inItem, now int64) {
 		panic(fmt.Sprintf("sim: tile %d L1 fill for line %#x without an MSHR", n.id, m.line))
 	}
 	if v, evicted := n.l1.Fill(m.line, mshr.Dirty); evicted && v.Dirty {
-		n.s.send(now, n.id, n.s.snuca.Bank(v.Addr), n.s.cfg.ResponseFlits(),
+		n.sh.send(now, n.id, n.s.snuca.Bank(v.Addr), n.s.cfg.ResponseFlits(),
 			noc.VNetRequest, noc.Normal, 0, msgWBL1toL2, nil, v.Addr)
 	}
 	for _, w := range mshr.Waiters {
@@ -284,7 +336,7 @@ func (n *node) fillL1(it inItem, now int64) {
 	}
 	n.l1m.Release(mshr)
 	t.Done = now
-	n.s.col.done(t)
+	n.sh.col.done(t)
 	if t.OffChip {
 		n.s.pol.RoundTripDone(t.Core, t.Total()) // Scheme-1 feedback
 	}
@@ -296,7 +348,10 @@ func (n *node) fillL1(it inItem, now int64) {
 // block the instruction window; the line fetch they trigger on a miss still
 // runs to completion (write-allocate) and marks the line dirty.
 func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
-	now := n.s.now
+	// issue only runs inside this tile's core.Tick, so the executing cycle
+	// is lastCoreTick (set at the top of tickCore). Under sharded stepping
+	// s.now is advanced before the phases run and must not be read here.
+	now := n.lastCoreTick
 	line := n.l1.LineAddr(addr)
 	waiter := complete
 	if isWrite {
@@ -328,8 +383,8 @@ func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
 	if !primary {
 		panic("sim: primary L1 miss raced a pending entry")
 	}
-	n.s.txnSeq++
-	t := &Txn{ID: n.s.txnSeq, Core: n.id, Line: line, Store: isWrite, Birth: now}
+	n.txnSeq++
+	t := &Txn{ID: uint64(n.id+1)<<32 | n.txnSeq, Core: n.id, Line: line, Store: isWrite, Birth: now}
 	// The request leaves for the L2 bank after the L1 lookup latency.
 	n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, txn: t, line: line})
 	return true
@@ -337,7 +392,7 @@ func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
 
 // sendL1Request fires a delayed miss request (the fn == nil action form).
 func (n *node) sendL1Request(t *Txn, line uint64, at int64) {
-	n.s.send(at, n.id, n.s.snuca.Bank(line), n.s.cfg.RequestFlits(),
+	n.sh.send(at, n.id, n.s.snuca.Bank(line), n.s.cfg.RequestFlits(),
 		noc.VNetRequest, n.s.pol.BasePriority(n.id), 0, msgReqL1toL2, t, line)
 }
 

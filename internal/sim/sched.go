@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"os"
 )
 
@@ -28,6 +27,17 @@ import (
 // while quiescent is the core — a hard-stalled core still counts stall
 // cycles — so its elided ticks are replayed in closed form (see
 // cpu.CatchUpStall) when it next runs.
+//
+// Active sets are bitset.Set values ([]uint64), sized to the component
+// count. They used to be bare uint64 masks whose all-active initializer
+// silently saturated at 64 components, so meshes beyond 64 tiles ran with
+// truncated active sets and produced wrong results with no error; the typed
+// set instead panics on out-of-range indices and scales to any mesh
+// config.Validate accepts.
+//
+// The scheduler state lives on simShard (shard.go): with Run.Shards > 1 the
+// mesh is partitioned and one worker goroutine steps each shard, with the
+// single-shard sequential loop below as the reference semantics.
 
 // wakeKind identifies the component class of a timed wake.
 type wakeKind uint8
@@ -46,57 +56,20 @@ type wake struct {
 	idx  int32
 }
 
-// pushWake schedules a component activation (min-heap on at, sift-up).
-func (s *Simulator) pushWake(at int64, kind wakeKind, idx int) {
-	s.wakes = append(s.wakes, wake{at: at, kind: kind, idx: int32(idx)})
-	i := len(s.wakes) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if s.wakes[p].at <= s.wakes[i].at {
-			break
-		}
-		s.wakes[p], s.wakes[i] = s.wakes[i], s.wakes[p]
-		i = p
-	}
-}
-
-// popWake removes and returns the earliest wake (sift-down).
-func (s *Simulator) popWake() wake {
-	w := s.wakes[0]
-	last := len(s.wakes) - 1
-	s.wakes[0] = s.wakes[last]
-	s.wakes = s.wakes[:last]
-	for i := 0; ; {
-		small := i
-		if l := 2*i + 1; l < len(s.wakes) && s.wakes[l].at < s.wakes[small].at {
-			small = l
-		}
-		if r := 2*i + 2; r < len(s.wakes) && s.wakes[r].at < s.wakes[small].at {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		s.wakes[i], s.wakes[small] = s.wakes[small], s.wakes[i]
-		i = small
-	}
-	return w
-}
-
-// allMask returns a bitmask with the low k bits set (k <= 64).
-func allMask(k int) uint64 {
-	if k >= 64 {
-		return ^uint64(0)
-	}
-	return 1<<uint(k) - 1
-}
-
 // activateAll marks every component active and re-arms the policy timer;
 // called at construction and when switching from dense to event-driven
 // stepping, after which the sets shrink back to the truly busy components.
 func (s *Simulator) activateAll() {
-	s.nodeActive = allMask(len(s.nodes))
-	s.mcActive = allMask(len(s.mcs))
+	for _, sh := range s.shards {
+		sh.nodeActive.Clear()
+		sh.mcActive.Clear()
+		for _, n := range sh.nodes {
+			sh.nodeActive.Add(n.id)
+		}
+		for _, m := range sh.mcs {
+			sh.mcActive.Add(m.idx)
+		}
+	}
 	s.polNext = s.pol.NextWake()
 }
 
@@ -142,80 +115,63 @@ func (s *Simulator) stepDense(cycles int64) {
 	}
 }
 
+// quietTarget reports whether the whole system is quiescent at now — no
+// active component, no packet in flight, no wake or policy push due — and if
+// so, the cycle to fast-forward to: the earliest future deadline, capped at
+// end. A due wake (head at <= now) means the cycle must execute; phaseFront
+// drains it into the active sets.
+func (s *Simulator) quietTarget(now, end int64) (int64, bool) {
+	if !s.net.RoutersQuiet() {
+		return 0, false
+	}
+	next := end
+	for _, sh := range s.shards {
+		if !sh.nodeActive.Empty() || !sh.mcActive.Empty() {
+			return 0, false
+		}
+		if len(sh.wakes) > 0 {
+			if at := sh.wakes[0].at; at <= now {
+				return 0, false
+			} else if at < next {
+				next = at
+			}
+		}
+	}
+	if s.polNext < next {
+		next = s.polNext
+	}
+	if next <= now { // cannot happen (all deadlines are future); guard anyway
+		next = now + 1
+	}
+	return next, true
+}
+
 // stepEvent is the event-driven scheduler. Within an executed cycle the
 // phase order is identical to stepDense (policy, MCs, node front-ends,
 // network, cores), and active components of each class are ticked in
 // ascending index order, so the state evolution matches the dense loop
 // exactly on the components that have work; the rest provably have none.
+// With more than one shard the cycle runs under the parallel driver
+// (shard.go) — byte-identical by the boundary-queue construction.
 func (s *Simulator) stepEvent(cycles int64) {
 	end := s.now + cycles
+	if len(s.shards) > 1 {
+		s.stepSharded(end)
+		return
+	}
+	sh := s.shards[0]
 	for s.now < end {
 		now := s.now
-
-		// Activate components whose timed wakes are due.
-		for len(s.wakes) > 0 && s.wakes[0].at <= now {
-			w := s.popWake()
-			switch w.kind {
-			case wakeNode:
-				s.nodeActive |= 1 << uint(w.idx)
-			case wakeMC:
-				s.mcActive |= 1 << uint(w.idx)
-			}
-		}
 		if now >= s.polNext {
 			s.pol.Tick(now)
 			s.polNext = s.pol.NextWake()
 		}
-
-		// Quiescence fast-forward: with no active component and nothing in
-		// flight, jump straight to the next deadline.
-		if s.nodeActive == 0 && s.mcActive == 0 && s.net.RoutersQuiet() {
-			next := end
-			if len(s.wakes) > 0 && s.wakes[0].at < next {
-				next = s.wakes[0].at
-			}
-			if s.polNext < next {
-				next = s.polNext
-			}
-			if next <= now { // cannot happen (all deadlines are future); guard anyway
-				next = now + 1
-			}
+		if next, quiet := s.quietTarget(now, end); quiet {
 			s.now = next
 			continue
 		}
-
-		for m := s.mcActive; m != 0; {
-			i := bits.TrailingZeros64(m)
-			m &^= 1 << uint(i)
-			s.mcs[i].ctl.Tick(now)
-		}
-		for m := s.nodeActive; m != 0; {
-			i := bits.TrailingZeros64(m)
-			m &^= 1 << uint(i)
-			n := s.nodes[i]
-			n.catchUpCore(now)
-			n.dispatchInbox(now)
-			n.tickL2(now)
-		}
-		s.net.Tick(now)
-		for m := s.nodeActive; m != 0; {
-			i := bits.TrailingZeros64(m)
-			m &^= 1 << uint(i)
-			s.nodes[i].tickCore(now)
-		}
-
-		// Retire quiescent components from the active sets.
-		for m := s.nodeActive; m != 0; {
-			i := bits.TrailingZeros64(m)
-			m &^= 1 << uint(i)
-			s.nodes[i].trySleep(now)
-		}
-		for m := s.mcActive; m != 0; {
-			i := bits.TrailingZeros64(m)
-			m &^= 1 << uint(i)
-			s.mcs[i].trySleep(now)
-		}
-
+		sh.phaseFront(now)
+		sh.phaseBack(now)
 		s.ticked++
 		s.now++
 	}
@@ -280,9 +236,9 @@ func (n *node) trySleep(now int64) {
 	if wakeAt <= now+1 {
 		return // due next cycle: staying active beats a heap round trip
 	}
-	n.s.nodeActive &^= 1 << uint(n.id)
+	n.sh.nodeActive.Remove(n.id)
 	if wakeAt != math.MaxInt64 {
-		n.s.pushWake(wakeAt, wakeNode, n.id)
+		n.sh.pushWake(wakeAt, wakeNode, n.id)
 	}
 }
 
@@ -294,8 +250,8 @@ func (m *mcNode) trySleep(now int64) {
 	if !ok || wakeAt <= now+1 {
 		return
 	}
-	m.s.mcActive &^= 1 << uint(m.idx)
-	m.s.pushWake(wakeAt, wakeMC, m.idx)
+	m.sh.mcActive.Remove(m.idx)
+	m.sh.pushWake(wakeAt, wakeMC, m.idx)
 }
 
 // DebugTickedCycles returns the number of cycles the event-driven scheduler

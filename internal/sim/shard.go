@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nocmem/internal/bitset"
+	"nocmem/internal/noc"
+)
+
+// Sharded stepping splits the mesh into rectangular tile groups, each ticked
+// by its own worker goroutine. A cycle runs in two phases separated by
+// barriers:
+//
+//	barrier (serial: policy tick, quiescence fast-forward, cycle advance)
+//	phaseFront: MC ticks, node front-ends, network tick   — per shard
+//	barrier
+//	phaseBack: boundary drain, cores, sleep bookkeeping   — per shard
+//
+// Everything a shard mutates during a phase is owned by it: its tiles, its
+// controllers, its routers (see noc.netShard), its wake heap, collector and
+// pools. The only cross-shard traffic is router-boundary flits and credits,
+// which travel through fixed-order SPSC queues drained in phaseBack
+// (noc.DrainShard), and the Scheme-1/2 counters, which are atomic adds.
+// Because every boundary item is future-dated and the merge order is fixed,
+// the sharded run is byte-identical to the sequential one for any worker
+// count — the equivalence tests enforce this, and the sequential path
+// remains the reference semantics (same pattern as NOCMEM_DENSE_STEP).
+
+// simShard owns a disjoint subset of tiles and their hosted memory
+// controllers, mirroring the noc partition with the same shard ids.
+type simShard struct {
+	id int
+	s  *Simulator
+
+	nodes []*node   // owned tiles, ascending id
+	mcs   []*mcNode // owned controllers, ascending idx
+
+	// Event-driven scheduler state, shard-local (see sched.go): active sets
+	// index by global node id / controller idx, but only owned members'
+	// bits are ever set.
+	nodeActive bitset.Set
+	mcActive   bitset.Set
+	wakes      []wake
+
+	// col accumulates measurements for events executed by this shard; a
+	// tile-indexed entry may be written by a foreign shard's collector copy
+	// (e.g. SoFar at the MC), so results() merges all shards elementwise.
+	col *Collector
+
+	// Packet/message free lists: protocol messages are born at an inject
+	// site and die at exactly one consumption point (see recycle). Objects
+	// may migrate between shards (allocated here, recycled there) — they
+	// are zeroed on recycle, so pools mix freely.
+	pkts    noc.PacketPool
+	msgFree []*message
+}
+
+// pushWake schedules a component activation (min-heap on at, sift-up).
+func (sh *simShard) pushWake(at int64, kind wakeKind, idx int) {
+	sh.wakes = append(sh.wakes, wake{at: at, kind: kind, idx: int32(idx)})
+	i := len(sh.wakes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if sh.wakes[p].at <= sh.wakes[i].at {
+			break
+		}
+		sh.wakes[p], sh.wakes[i] = sh.wakes[i], sh.wakes[p]
+		i = p
+	}
+}
+
+// popWake removes and returns the earliest wake (sift-down).
+func (sh *simShard) popWake() wake {
+	w := sh.wakes[0]
+	last := len(sh.wakes) - 1
+	sh.wakes[0] = sh.wakes[last]
+	sh.wakes = sh.wakes[:last]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < len(sh.wakes) && sh.wakes[l].at < sh.wakes[small].at {
+			small = l
+		}
+		if r := 2*i + 2; r < len(sh.wakes) && sh.wakes[r].at < sh.wakes[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		sh.wakes[i], sh.wakes[small] = sh.wakes[small], sh.wakes[i]
+		i = small
+	}
+	return w
+}
+
+// drainWakes activates components whose timed wakes are due.
+func (sh *simShard) drainWakes(now int64) {
+	for len(sh.wakes) > 0 && sh.wakes[0].at <= now {
+		w := sh.popWake()
+		switch w.kind {
+		case wakeNode:
+			sh.nodeActive.Add(int(w.idx))
+		case wakeMC:
+			sh.mcActive.Add(int(w.idx))
+		}
+	}
+}
+
+// send builds a pooled packet carrying a pooled protocol message and injects
+// it at the executing tile's router. Every send has exactly one matching
+// recycle at the packet's consumption point.
+func (sh *simShard) send(now int64, src, dst, flits int, vn noc.VNet, pri noc.Priority, age int64, kind msgKind, t *Txn, line uint64) {
+	var m *message
+	if l := len(sh.msgFree); l > 0 {
+		m = sh.msgFree[l-1]
+		sh.msgFree[l-1] = nil
+		sh.msgFree = sh.msgFree[:l-1]
+	} else {
+		m = &message{}
+	}
+	m.kind, m.txn, m.line = kind, t, line
+	p := sh.pkts.Get()
+	p.Src, p.Dst, p.NumFlits = src, dst, flits
+	p.VNet, p.Priority, p.Age = vn, pri, age
+	p.Payload = m
+	if err := sh.s.net.Inject(p, now); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+}
+
+// recycle retires a fully-consumed packet and its message. The caller must
+// be the packet's final reader.
+func (sh *simShard) recycle(p *noc.Packet) {
+	if m, ok := p.Payload.(*message); ok {
+		*m = message{}
+		sh.msgFree = append(sh.msgFree, m)
+	}
+	sh.pkts.Put(p)
+}
+
+// phaseFront runs the first half of one cycle for this shard, in the dense
+// stepper's canonical order: due wakes, MC ticks, node front-ends (core
+// stall catch-up, inbox dispatch, L2 bank), then the shard's routers.
+// Active components tick in ascending index order, exactly like the
+// sequential stepper restricted to this shard's members.
+func (sh *simShard) phaseFront(now int64) {
+	sh.drainWakes(now)
+	for wi := range sh.mcActive {
+		w := sh.mcActive[wi]
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			sh.s.mcs[i].ctl.Tick(now)
+		}
+	}
+	for wi := range sh.nodeActive {
+		w := sh.nodeActive[wi]
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			n := sh.s.nodes[i]
+			n.catchUpCore(now)
+			n.dispatchInbox(now)
+			n.tickL2(now)
+		}
+	}
+	sh.s.net.TickShard(sh.id, now)
+}
+
+// phaseBack runs the second half of one cycle: merge cross-shard boundary
+// traffic (deterministic fixed order, see noc.DrainShard), tick the cores,
+// then retire quiescent components from the active sets.
+func (sh *simShard) phaseBack(now int64) {
+	sh.s.net.DrainShard(sh.id)
+	for wi := range sh.nodeActive {
+		w := sh.nodeActive[wi]
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			sh.s.nodes[i].tickCore(now)
+		}
+	}
+	for wi := range sh.nodeActive {
+		w := sh.nodeActive[wi]
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			sh.s.nodes[i].trySleep(now)
+		}
+	}
+	for wi := range sh.mcActive {
+		w := sh.mcActive[wi]
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			sh.s.mcs[i].trySleep(now)
+		}
+	}
+}
+
+// barrier is a sense-reversing spin barrier whose last arriver runs an
+// optional serial section before releasing the others. Built on sync/atomic
+// so the race detector sees the happens-before edges: worker writes before
+// arrival are visible to the serial section, and serial-section writes are
+// visible to every worker after release.
+type barrier struct {
+	n       int32
+	arrived int32
+	sense   uint32
+}
+
+func (b *barrier) wait(serial func()) {
+	s := atomic.LoadUint32(&b.sense)
+	if atomic.AddInt32(&b.arrived, 1) == b.n {
+		if serial != nil {
+			serial()
+		}
+		// Reset before flipping the sense: nobody passes the barrier until
+		// the flip, so the next round's arrivals count from zero.
+		atomic.StoreInt32(&b.arrived, 0)
+		atomic.AddUint32(&b.sense, 1)
+	} else {
+		for spins := 0; atomic.LoadUint32(&b.sense) == s; spins++ {
+			if spins > 256 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// stepPar is the coordination state of one parallel Step call. Every field
+// is written only in the barrier's serial section (or before the workers
+// start) and read by workers after the barrier, so access needs no further
+// synchronization.
+type stepPar struct {
+	bar   barrier
+	end   int64
+	stop  bool  // all work done: workers return
+	skip  bool  // this round fast-forwarded; no phases to run
+	cycle int64 // the cycle the phases execute
+}
+
+// stepSharded advances the system to end with one worker per shard. The
+// calling goroutine doubles as shard 0's worker.
+func (s *Simulator) stepSharded(end int64) {
+	s.par = stepPar{bar: barrier{n: int32(len(s.shards))}, end: end}
+	var wg sync.WaitGroup
+	for _, sh := range s.shards[1:] {
+		wg.Add(1)
+		go func(sh *simShard) {
+			defer wg.Done()
+			s.shardWorker(sh)
+		}(sh)
+	}
+	s.shardWorker(s.shards[0])
+	wg.Wait()
+}
+
+// shardWorker is the per-shard cycle loop. All workers observe the same
+// serial-section decisions each round, so they take identical branches and
+// exit together.
+func (s *Simulator) shardWorker(sh *simShard) {
+	for {
+		s.par.bar.wait(s.cycleSerial)
+		if s.par.stop {
+			return
+		}
+		if s.par.skip {
+			continue
+		}
+		c := s.par.cycle
+		sh.phaseFront(c)
+		s.par.bar.wait(nil)
+		sh.phaseBack(c)
+	}
+}
+
+// cycleSerial is the per-cycle serial section, run by the barrier's last
+// arriver while the other workers spin: policy tick, the global quiescence
+// fast-forward decision, and the cycle advance. Identical in effect to the
+// head of the sequential stepEvent loop.
+func (s *Simulator) cycleSerial() {
+	now := s.now
+	if now >= s.par.end {
+		s.par.stop = true
+		return
+	}
+	if now >= s.polNext {
+		s.pol.Tick(now)
+		s.polNext = s.pol.NextWake()
+	}
+	if next, quiet := s.quietTarget(now, s.par.end); quiet {
+		s.now = next
+		s.par.skip = true
+		return
+	}
+	s.par.skip = false
+	s.par.cycle = now
+	s.ticked++
+	// s.now advances before the phases run; within the cycle every code path
+	// receives the executing cycle as a parameter (node.issue reads it from
+	// lastCoreTick), so nothing observes the early advance.
+	s.now = now + 1
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"nocmem/internal/bitset"
 	"nocmem/internal/cache"
 	"nocmem/internal/config"
 	"nocmem/internal/core"
@@ -28,28 +29,23 @@ type Simulator struct {
 	amap  dram.AddrMap
 	snuca cache.SNUCA
 
-	now    int64
-	txnSeq uint64
-	col    *Collector
+	now int64
 
-	// Event-driven scheduler state (see sched.go). dense selects the
-	// reference stepper instead; nodeActive/mcActive are the per-class
-	// active-set bitmasks, wakes the timed-wake min-heap, polNext the next
-	// cycle the policy has work, and ticked counts executed (not
-	// fast-forwarded) cycles.
-	dense      bool
-	nodeActive uint64
-	mcActive   uint64
-	wakes      []wake
-	polNext    int64
-	ticked     int64
+	// shards partition the tiles for stepping (shard.go); always at least
+	// one. The scheduler state (active sets, wake heaps), measurement
+	// collectors and object pools live on the shards so worker goroutines
+	// never contend. Run.Shards <= 1 keeps the single sequential shard.
+	shards []*simShard
 
-	// Packet/message free lists: protocol messages are born at an inject
-	// site and die at exactly one consumption point (see recycle), so the
-	// steady-state cycle loop allocates neither. Single-goroutine, like
-	// the rest of the simulator instance.
-	pkts    noc.PacketPool
-	msgFree []*message
+	// Event-driven scheduler state (see sched.go): dense selects the
+	// reference stepper instead, polNext is the next cycle the policy has
+	// work, and ticked counts executed (not fast-forwarded) cycles.
+	dense   bool
+	polNext int64
+	ticked  int64
+
+	// par coordinates the parallel shard workers of one Step call.
+	par stepPar
 
 	idleSeries []*stats.Series
 }
@@ -87,9 +83,6 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 	if nodes&(nodes-1) != 0 {
 		return nil, fmt.Errorf("sim: S-NUCA needs a power-of-two tile count, got %d", nodes)
 	}
-	if nodes > 64 {
-		return nil, fmt.Errorf("sim: %d tiles exceed the 64-tile directory bitmask", nodes)
-	}
 	if len(srcs) != nodes || len(apps) != nodes {
 		return nil, fmt.Errorf("sim: %d sources / %d app entries for %d tiles", len(srcs), len(apps), nodes)
 	}
@@ -115,7 +108,6 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 		amap:  amap,
 		snuca: cache.NewSNUCA(nodes, cfg.L2.LineBytes),
 		mcAt:  make([]*mcNode, nodes),
-		col:   newCollector(nodes),
 	}
 	s.nodes = make([]*node, nodes)
 	for i := range s.nodes {
@@ -149,8 +141,48 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 		s.mcs = append(s.mcs, mc)
 		s.mcAt[tile] = mc
 	}
+	s.buildShards()
 	s.SetDenseStepping(denseFromEnv())
 	return s, nil
+}
+
+// buildShards partitions the tiles per Run.Shards into rectangular groups,
+// mirrors the partition onto the network, and hands every node and memory
+// controller its owning shard.
+func (s *Simulator) buildShards() {
+	k := s.cfg.Run.Shards
+	if k < 1 {
+		k = 1
+	}
+	nodes := len(s.nodes)
+	sx, sy := s.cfg.Mesh.ShardGrid(k)
+	shardOf := make([]int, nodes)
+	for i := range shardOf {
+		shardOf[i] = s.cfg.Mesh.ShardOf(i%s.cfg.Mesh.Width, i/s.cfg.Mesh.Width, sx, sy)
+	}
+	if k > 1 {
+		s.net.SetPartition(shardOf)
+	}
+	s.shards = make([]*simShard, sx*sy)
+	for i := range s.shards {
+		s.shards[i] = &simShard{
+			id:         i,
+			s:          s,
+			nodeActive: bitset.New(nodes),
+			mcActive:   bitset.New(len(s.mcs)),
+			col:        newCollector(nodes),
+		}
+	}
+	for i, n := range s.nodes {
+		sh := s.shards[shardOf[i]]
+		n.sh = sh
+		sh.nodes = append(sh.nodes, n)
+	}
+	for _, mc := range s.mcs {
+		sh := s.shards[shardOf[mc.tile]]
+		mc.sh = sh
+		sh.mcs = append(sh.mcs, mc)
+	}
 }
 
 // prewarm functionally installs an application's resident working sets:
@@ -184,43 +216,6 @@ func (s *Simulator) Now() int64 { return s.now }
 // Config returns the configuration the simulator was built with.
 func (s *Simulator) Config() config.Config { return s.cfg }
 
-// inject offers a packet to the network at the given cycle.
-func (s *Simulator) inject(p *noc.Packet, now int64) {
-	if err := s.net.Inject(p, now); err != nil {
-		panic(fmt.Sprintf("sim: %v", err))
-	}
-}
-
-// send builds a pooled packet carrying a pooled protocol message and injects
-// it. Every send has exactly one matching recycle at the packet's
-// consumption point.
-func (s *Simulator) send(now int64, src, dst, flits int, vn noc.VNet, pri noc.Priority, age int64, kind msgKind, t *Txn, line uint64) {
-	var m *message
-	if l := len(s.msgFree); l > 0 {
-		m = s.msgFree[l-1]
-		s.msgFree[l-1] = nil
-		s.msgFree = s.msgFree[:l-1]
-	} else {
-		m = &message{}
-	}
-	m.kind, m.txn, m.line = kind, t, line
-	p := s.pkts.Get()
-	p.Src, p.Dst, p.NumFlits = src, dst, flits
-	p.VNet, p.Priority, p.Age = vn, pri, age
-	p.Payload = m
-	s.inject(p, now)
-}
-
-// recycle retires a fully-consumed packet and its message. The caller must
-// be the packet's final reader.
-func (s *Simulator) recycle(p *noc.Packet) {
-	if m, ok := p.Payload.(*message); ok {
-		*m = message{}
-		s.msgFree = append(s.msgFree, m)
-	}
-	s.pkts.Put(p)
-}
-
 // mcTileOf returns the tile hosting the memory controller owning addr.
 func (s *Simulator) mcTileOf(addr uint64) int {
 	return s.mcTiles[s.amap.Controller(addr)]
@@ -242,8 +237,10 @@ func (s *Simulator) Step(cycles int64) {
 // preserving learned state (cache contents, scheme thresholds, open rows).
 func (s *Simulator) resetStats() {
 	s.flushCoreStats()
-	s.col = newCollector(len(s.nodes))
-	s.col.measuring = true
+	for _, sh := range s.shards {
+		sh.col = newCollector(len(s.nodes))
+		sh.col.measuring = true
+	}
 	s.net.ResetStats()
 	for _, n := range s.nodes {
 		n.l1.ResetStats()
@@ -298,6 +295,23 @@ type Result struct {
 	S1Thresholds        []int64
 }
 
+// collector returns the merged measurements: the single shard's collector
+// directly, or an elementwise merge in shard order. Every merged quantity is
+// either an integer counter or a float64 sum of integer-valued samples well
+// below 2^53, so the merge is exact and the result is independent of the
+// shard count.
+func (s *Simulator) collector() *Collector {
+	if len(s.shards) == 1 {
+		return s.shards[0].col
+	}
+	col := newCollector(len(s.nodes))
+	col.measuring = s.shards[0].col.measuring
+	for _, sh := range s.shards {
+		col.Merge(sh.col)
+	}
+	return col
+}
+
 func (s *Simulator) results() *Result {
 	s.flushCoreStats()
 	r := &Result{
@@ -308,7 +322,7 @@ func (s *Simulator) results() *Result {
 		CoreStats:  make([]cpu.Stats, len(s.nodes)),
 		L1:         make([]cache.Stats, len(s.nodes)),
 		L2:         make([]cache.Stats, len(s.nodes)),
-		Collector:  s.col,
+		Collector:  s.collector(),
 		IdleSeries: s.idleSeries,
 		Net:        s.net.Stats(),
 	}

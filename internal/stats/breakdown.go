@@ -72,6 +72,24 @@ func (b *Breakdown) Add(legs [NumLegs]int64) {
 	}
 }
 
+// Merge folds the accesses of o (same width and range count) into b.
+// Purely integer counters, so the result is exact regardless of merge order.
+func (b *Breakdown) Merge(o *Breakdown) {
+	if b.width != o.width || len(b.counts) != len(o.counts) {
+		panic("stats: merging mismatched breakdowns")
+	}
+	for i, c := range o.counts {
+		b.counts[i] += c
+		for l := Leg(0); l < NumLegs; l++ {
+			b.sums[i][l] += o.sums[i][l]
+		}
+	}
+	b.total += o.total
+	for l := Leg(0); l < NumLegs; l++ {
+		b.overall[l] += o.overall[l]
+	}
+}
+
 // Row is the average per-leg delay of one total-delay range.
 type Row struct {
 	Lo, Hi int64 // range of total delays covered, [Lo, Hi)

@@ -51,6 +51,30 @@ func (h *Histogram) Add(v int64) {
 	}
 }
 
+// Merge folds the samples of o (same width and bucket count) into h.
+// All fields are integer counters, so merging shard-local histograms in any
+// order yields the exact same state as sequential accumulation.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.width != o.width || len(h.buckets) != len(o.buckets) {
+		panic(fmt.Sprintf("stats: merging mismatched histograms (width %d/%d, buckets %d/%d)",
+			h.width, o.width, len(h.buckets), len(o.buckets)))
+	}
+	if o.count == 0 {
+		return
+	}
+	for i, b := range o.buckets {
+		h.buckets[i] += b
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count }
 
@@ -182,6 +206,11 @@ func (r *RunningMean) Mean() float64 {
 
 // Reset discards all samples.
 func (r *RunningMean) Reset() { r.n, r.sum = 0, 0 }
+
+// Merge folds the samples of o into r. The simulator only feeds RunningMean
+// integer-valued samples well below 2^53, so the float64 sums are exact and
+// the merge is order-independent.
+func (r *RunningMean) Merge(o RunningMean) { r.n += o.n; r.sum += o.sum }
 
 // Quantiles computes exact quantiles of a raw sample slice (sorted copy).
 // qs entries are in (0,1]. Returns nil for empty input.
