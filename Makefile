@@ -1,12 +1,13 @@
 # Developer entry points. `make ci` is the gate run before every commit:
-# vet, build, the full test suite under the race detector, and a smoke run
+# vet, build, the checkpoint fork-equivalence oracle under the race detector
+# (fast fail), the full test suite under the race detector, and a smoke run
 # of the perf harness (micro-benchmarks plus the sharded-vs-sequential
 # byte-equality gate, regression-gated; the full harness writing
-# BENCH_3.json is `make bench`).
+# BENCH_4.json is `make bench`).
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke ci
+.PHONY: all build vet test race fork-race bench bench-smoke ci
 
 all: build
 
@@ -22,10 +23,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The checkpoint correctness oracles on their own, under the race detector:
+# warmup-then-fork must reproduce the straight-through run byte for byte
+# under every stepper, and a checkpoint must survive a serialize-restore-
+# serialize round trip unchanged. Runs ahead of the full `race` suite (which
+# also includes them) so snapshot-format breakage fails CI within a minute.
+fork-race:
+	$(GO) test -race -run 'TestCheckpointForkEquivalence|TestCheckpointRoundTrip' ./internal/sim
+
 # Full perf-regression harness: micro-benchmarks, dense-vs-event stepper
 # comparison, the sharded-stepper sweep (with its sequential byte-equality
-# gate), and the sequential-vs-parallel figure sweep, written to
-# BENCH_3.json for before/after comparison.
+# gate), the checkpoint-fork warmup-amortization point, and the
+# sequential-vs-parallel figure sweep, written to BENCH_4.json for
+# before/after comparison.
 bench:
 	$(GO) run ./cmd/bench
 
@@ -36,4 +46,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -skip-sweep -out - -check BENCH_1.json
 
-ci: vet build race bench-smoke
+ci: vet build fork-race race bench-smoke

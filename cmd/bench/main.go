@@ -9,6 +9,8 @@
 //   - the sharded parallel stepper at 1, 2 and 4 workers on the saturated
 //     workload (after gating that the sharded run reproduces the sequential
 //     one byte for byte), and
+//   - the warmup-amortization speedup of checkpoint forking (eight policy
+//     configurations forked from one warmed snapshot vs eight cold runs),
 //   - the wall time of a Figure-11 style sweep (three workloads, three
 //     systems each, plus alone runs) executed sequentially and on the
 //     runner's parallel worker pool,
@@ -17,7 +19,7 @@
 //
 // Usage:
 //
-//	bench                     # full harness -> BENCH_3.json
+//	bench                     # full harness -> BENCH_4.json
 //	bench -out -              # JSON to stdout
 //	bench -quick              # smaller op counts (CI smoke)
 //	bench -skip-sweep         # micro + stepper benchmarks only
@@ -40,6 +42,7 @@ import (
 
 	"nocmem/internal/config"
 	"nocmem/internal/exp"
+	"nocmem/internal/forkrun"
 	"nocmem/internal/noc"
 	"nocmem/internal/sim"
 	"nocmem/internal/trace"
@@ -90,6 +93,22 @@ type sweepResult struct {
 	Seconds     float64 `json:"seconds"`
 }
 
+// forkResult measures warmup amortization via checkpoint forking: the same
+// N policy configurations run cold (each paying the full warmup) and forked
+// (one warmup checkpoint restored N times — see internal/forkrun). Both
+// sides run sequentially, so Speedup measures the amortization alone, not
+// parallelism. The ideal is (N*(W+M)) / (W+N*M) simulated cycles.
+type forkResult struct {
+	Name          string  `json:"name"`
+	Configs       int     `json:"configs"`
+	WarmupCycles  int64   `json:"warmup_cycles"`
+	MeasureCycles int64   `json:"measure_cycles"`
+	ColdSeconds   float64 `json:"cold_seconds"`
+	ForkSeconds   float64 `json:"fork_seconds"`
+	Speedup       float64 `json:"speedup"`
+	IdealSpeedup  float64 `json:"ideal_speedup"`
+}
+
 type report struct {
 	GoVersion  string          `json:"go_version"`
 	NumCPU     int             `json:"num_cpu"`
@@ -98,6 +117,7 @@ type report struct {
 	Micro      []microResult   `json:"micro"`
 	Stepper    []stepperResult `json:"stepper,omitempty"`
 	Shards     []shardResult   `json:"shards,omitempty"`
+	Fork       *forkResult     `json:"fork_amortization,omitempty"`
 	Sweep      []sweepResult   `json:"sweep,omitempty"`
 	// SweepSpeedup is sequential seconds / parallel seconds. It only
 	// measures parallelism when the worker pool actually has more than one
@@ -121,7 +141,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out       = flag.String("out", "BENCH_3.json", "output file ('-' = stdout)")
+		out       = flag.String("out", "BENCH_4.json", "output file ('-' = stdout)")
 		quick     = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
 		skipSweep = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
 		shards    = flag.String("shards", "1,2,4", "comma-separated shard counts for the sharded-stepper sweep ('' = skip)")
@@ -168,6 +188,8 @@ func main() {
 		shardEqualityGate(counts, *quick)
 		rep.Shards = shardBenches(counts, *quick)
 	}
+
+	rep.Fork = forkAmortization(*quick)
 
 	if !*skipSweep {
 		runSweep(&rep, *quick)
@@ -397,6 +419,94 @@ func shardBenches(counts []int, quick bool) []shardResult {
 		out = append(out, res)
 	}
 	return out
+}
+
+// forkVariants returns the eight policy configurations of the amortization
+// point: every one differs from the others only in dimensions the snapshot
+// format tolerates (config.SnapshotKey), so all eight fork from one warmed
+// checkpoint.
+func forkVariants(base config.Config) []config.Config {
+	relaxed := base.WithSchemes(true, false)
+	relaxed.S1.ThresholdFactor = 1.0
+	appNet := base
+	appNet.AppAwareNet = true
+	fcfs := base
+	fcfs.DRAM.Sched = config.FCFS
+	appMem := base
+	appMem.DRAM.Sched = config.AppAwareMem
+	return []config.Config{
+		base,
+		base.WithSchemes(true, false),
+		base.WithSchemes(false, true),
+		base.WithSchemes(true, true),
+		relaxed,
+		appNet,
+		fcfs,
+		appMem,
+	}
+}
+
+// forkAmortization times an 8-configuration policy sweep on the 16-core
+// system twice — cold, then forked from one shared warmup checkpoint — and
+// reports the wall-clock reduction.
+func forkAmortization(quick bool) *forkResult {
+	base := config.Baseline16()
+	base.Run.WarmupCycles, base.Run.MeasureCycles = 30_000, 5_000
+	if quick {
+		base.Run.WarmupCycles, base.Run.MeasureCycles = 10_000, 2_000
+	}
+	base.S1.UpdatePeriod = base.Run.MeasureCycles / 2
+	w, err := workload.Get(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if w, err = w.Halve(); err != nil {
+		log.Fatal(err)
+	}
+	apps, err := w.Profiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	padded := make([]trace.Profile, base.Mesh.Nodes())
+	copy(padded, apps)
+	variants := forkVariants(base)
+
+	log.Printf("running fork amortization (%d configs, cold)...", len(variants))
+	coldStart := time.Now()
+	for _, cfg := range variants {
+		s, err := sim.New(cfg, padded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Run()
+	}
+	cold := time.Since(coldStart).Seconds()
+
+	log.Printf("running fork amortization (%d configs, forked)...", len(variants))
+	var cache forkrun.Cache
+	forkStart := time.Now()
+	for _, cfg := range variants {
+		if _, err := cache.Run(cfg, padded); err != nil {
+			log.Fatal(err)
+		}
+	}
+	forked := time.Since(forkStart).Seconds()
+	if n := cache.Snapshots(); n != 1 {
+		log.Fatalf("fork amortization executed %d warmups, want 1 shared", n)
+	}
+
+	wc, mc := base.Run.WarmupCycles, base.Run.MeasureCycles
+	n := int64(len(variants))
+	return &forkResult{
+		Name:          "policy_sweep_w7_half_16",
+		Configs:       len(variants),
+		WarmupCycles:  wc,
+		MeasureCycles: mc,
+		ColdSeconds:   cold,
+		ForkSeconds:   forked,
+		Speedup:       cold / forked,
+		IdealSpeedup:  float64(n*(wc+mc)) / float64(wc+n*mc),
+	}
 }
 
 func runSweep(rep *report, quick bool) {

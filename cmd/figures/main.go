@@ -39,6 +39,7 @@ func main() {
 		push    = flag.Int64("push", 20_000, "scheme-1 threshold push period (cycles)")
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across compatible runs (faster; scheme runs then warm up under the baseline policy)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		Seed:                *seed,
 		ThresholdPushPeriod: *push,
 		Parallelism:         *jobs,
+		ShareWarmup:         *fork,
 	})
 	if !*quiet {
 		runner.SetProgress(func(format string, args ...any) { log.Printf(format, args...) })

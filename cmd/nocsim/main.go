@@ -32,9 +32,11 @@ func main() {
 		jsonOut = flag.String("json", "", "write the scheme-1+2 run's summary as JSON to this file ('-' = stdout)")
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 		shards  = flag.Int("shards", 1, "mesh shards per simulation (worker goroutines; results are identical at any count)")
+		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across the base/S1/S1+S2 runs (faster; scheme runs then warm up under the baseline policy)")
 	)
 	flag.Parse()
 	nocmem.SetParallelism(*jobs)
+	nocmem.SetShareWarmup(*fork)
 
 	var cfg nocmem.Config
 	switch *cores {

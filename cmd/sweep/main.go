@@ -31,9 +31,11 @@ func main() {
 		warmup  = flag.Int64("warmup", 100_000, "warmup cycles")
 		measure = flag.Int64("measure", 300_000, "measurement cycles")
 		jobs    = flag.Int("j", 0, "max concurrent sweep points (0 = all CPUs, 1 = sequential)")
+		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across compatible sweep points (faster; scheme points then warm up under the baseline policy)")
 	)
 	flag.Parse()
 	nocmem.SetParallelism(*jobs)
+	nocmem.SetShareWarmup(*fork)
 
 	w, err := nocmem.GetWorkload(*wid)
 	if err != nil {

@@ -173,7 +173,7 @@ func TestVictimSameSetProperty(t *testing.T) {
 }
 
 func TestMSHRCoalescing(t *testing.T) {
-	m := NewMSHRTable(2)
+	m := NewMSHRTable[string](2)
 	p1, ok := m.Allocate(0x100, false, "a")
 	if !p1 || !ok {
 		t.Fatal("first allocation should be a primary miss")
@@ -195,17 +195,17 @@ func TestMSHRCoalescing(t *testing.T) {
 }
 
 func TestMSHRCapacity(t *testing.T) {
-	m := NewMSHRTable(2)
-	m.Allocate(0x100, false, nil)
-	m.Allocate(0x200, false, nil)
+	m := NewMSHRTable[int](2)
+	m.Allocate(0x100, false, 0)
+	m.Allocate(0x200, false, 0)
 	if !m.Full() {
 		t.Fatal("table should be full")
 	}
-	if _, ok := m.Allocate(0x300, false, nil); ok {
+	if _, ok := m.Allocate(0x300, false, 0); ok {
 		t.Fatal("allocation beyond capacity accepted")
 	}
 	// Coalescing is still allowed when full.
-	if _, ok := m.Allocate(0x200, false, nil); !ok {
+	if _, ok := m.Allocate(0x200, false, 0); !ok {
 		t.Fatal("coalescing rejected while full")
 	}
 	if m.Cap() != 2 {

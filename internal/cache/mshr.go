@@ -3,37 +3,39 @@ package cache
 import "fmt"
 
 // MSHR is one miss-status holding register: an outstanding line fetch plus
-// every access coalesced onto it.
-type MSHR struct {
+// every access coalesced onto it. The waiter type W is plain data (the L1
+// tables carry ROB slot indices, the L2 tables carry transaction pointers),
+// which keeps outstanding misses serializable for checkpointing.
+type MSHR[W any] struct {
 	LineAddr uint64
-	Dirty    bool  // a store is among the waiters; fill installs dirty
-	Waiters  []any // opaque per-access tokens, completed together on fill
+	Dirty    bool // a store is among the waiters; fill installs dirty
+	Waiters  []W  // per-access tokens, completed together on fill
 }
 
 // MSHRTable tracks outstanding misses with coalescing. The zero value is
 // unusable; construct with NewMSHRTable.
-type MSHRTable struct {
+type MSHRTable[W any] struct {
 	cap     int
-	entries map[uint64]*MSHR
+	entries map[uint64]*MSHR[W]
 	// free recycles completed entries (and their Waiters backing arrays) so
 	// steady-state miss traffic allocates nothing. Not safe for concurrent
 	// use, like the table itself.
-	free []*MSHR
+	free []*MSHR[W]
 }
 
 // NewMSHRTable returns a table with capacity for n outstanding lines.
-func NewMSHRTable(n int) *MSHRTable {
+func NewMSHRTable[W any](n int) *MSHRTable[W] {
 	if n < 1 {
 		panic(fmt.Sprintf("cache: MSHR capacity %d", n))
 	}
-	return &MSHRTable{cap: n, entries: make(map[uint64]*MSHR, n)}
+	return &MSHRTable[W]{cap: n, entries: make(map[uint64]*MSHR[W], n)}
 }
 
 // Allocate registers a miss on lineAddr carrying the given waiter token.
 // primary is true when this miss must actually fetch the line (first miss);
 // a secondary miss coalesces onto the in-flight fetch. ok is false when the
 // table is full and the miss cannot be accepted this cycle.
-func (t *MSHRTable) Allocate(lineAddr uint64, isWrite bool, waiter any) (primary, ok bool) {
+func (t *MSHRTable[W]) Allocate(lineAddr uint64, isWrite bool, waiter W) (primary, ok bool) {
 	if m, exists := t.entries[lineAddr]; exists {
 		m.Waiters = append(m.Waiters, waiter)
 		m.Dirty = m.Dirty || isWrite
@@ -42,7 +44,7 @@ func (t *MSHRTable) Allocate(lineAddr uint64, isWrite bool, waiter any) (primary
 	if len(t.entries) >= t.cap {
 		return false, false
 	}
-	var m *MSHR
+	var m *MSHR[W]
 	if l := len(t.free); l > 0 {
 		m = t.free[l-1]
 		t.free[l-1] = nil
@@ -50,7 +52,7 @@ func (t *MSHRTable) Allocate(lineAddr uint64, isWrite bool, waiter any) (primary
 		m.LineAddr, m.Dirty = lineAddr, isWrite
 		m.Waiters = append(m.Waiters, waiter)
 	} else {
-		m = &MSHR{LineAddr: lineAddr, Dirty: isWrite, Waiters: []any{waiter}}
+		m = &MSHR[W]{LineAddr: lineAddr, Dirty: isWrite, Waiters: []W{waiter}}
 	}
 	t.entries[lineAddr] = m
 	return true, true
@@ -58,7 +60,7 @@ func (t *MSHRTable) Allocate(lineAddr uint64, isWrite bool, waiter any) (primary
 
 // Complete removes and returns the entry for lineAddr; ok is false when no
 // miss was outstanding for that line.
-func (t *MSHRTable) Complete(lineAddr uint64) (*MSHR, bool) {
+func (t *MSHRTable[W]) Complete(lineAddr uint64) (*MSHR[W], bool) {
 	m, exists := t.entries[lineAddr]
 	if !exists {
 		return nil, false
@@ -70,26 +72,51 @@ func (t *MSHRTable) Complete(lineAddr uint64) (*MSHR, bool) {
 // Release returns a completed entry to the table's free list. The caller
 // must be done with m and its Waiters; releasing an entry still in the
 // table, or twice, corrupts the free list.
-func (t *MSHRTable) Release(m *MSHR) {
-	for i := range m.Waiters {
-		m.Waiters[i] = nil
-	}
+func (t *MSHRTable[W]) Release(m *MSHR[W]) {
+	clear(m.Waiters)
 	m.Waiters = m.Waiters[:0]
 	m.LineAddr, m.Dirty = 0, false
 	t.free = append(t.free, m)
 }
 
 // Pending reports whether a fetch of lineAddr is in flight.
-func (t *MSHRTable) Pending(lineAddr uint64) bool {
+func (t *MSHRTable[W]) Pending(lineAddr uint64) bool {
 	_, exists := t.entries[lineAddr]
 	return exists
 }
 
 // Len returns the number of outstanding lines.
-func (t *MSHRTable) Len() int { return len(t.entries) }
+func (t *MSHRTable[W]) Len() int { return len(t.entries) }
 
 // Cap returns the table capacity.
-func (t *MSHRTable) Cap() int { return t.cap }
+func (t *MSHRTable[W]) Cap() int { return t.cap }
 
 // Full reports whether no further primary miss can be accepted.
-func (t *MSHRTable) Full() bool { return len(t.entries) >= t.cap }
+func (t *MSHRTable[W]) Full() bool { return len(t.entries) >= t.cap }
+
+// Lines returns the outstanding line addresses in unspecified order; the
+// checkpoint layer sorts them to make encoding deterministic.
+func (t *MSHRTable[W]) Lines() []uint64 {
+	lines := make([]uint64, 0, len(t.entries))
+	for l := range t.entries {
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// Entry returns the live entry for lineAddr without removing it, for
+// checkpoint encoding.
+func (t *MSHRTable[W]) Entry(lineAddr uint64) (*MSHR[W], bool) {
+	m, exists := t.entries[lineAddr]
+	return m, exists
+}
+
+// Reset drops every outstanding entry, returning the table to its
+// post-construction state; the checkpoint layer rebuilds entries from a
+// snapshot afterwards via Allocate.
+func (t *MSHRTable[W]) Reset() {
+	for line, m := range t.entries {
+		delete(t.entries, line)
+		t.Release(m)
+	}
+}

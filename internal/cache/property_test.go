@@ -40,7 +40,7 @@ func TestLineAddrProperty(t *testing.T) {
 func TestMSHRConservationProperty(t *testing.T) {
 	f := func(ops []uint8, capSel uint8) bool {
 		capacity := int(capSel%8) + 1
-		m := NewMSHRTable(capacity)
+		m := NewMSHRTable[int](capacity)
 		expect := map[uint64]int{} // line -> waiters coalesced
 		for i, op := range ops {
 			line := uint64(op%16) * 64

@@ -263,6 +263,19 @@ type Run struct {
 	// min(64, Mesh.Nodes()). Results are byte-identical for every value;
 	// only wall-clock time changes.
 	Shards int
+
+	// CheckpointAt names the cycle (measured from the start of the run,
+	// warmup included) at which sim.RunWithCheckpoint serializes the full
+	// simulator state. 0 disables checkpointing. Typically set to
+	// WarmupCycles so one warmed-up snapshot forks many measurement
+	// configurations.
+	CheckpointAt int64
+
+	// ResumeFrom asserts the cycle a restored snapshot was taken at;
+	// sim.Restore rejects a snapshot from any other cycle. 0 skips the
+	// check. It must not lie past CheckpointAt when both are set (a run
+	// cannot resume after the point it is asked to checkpoint at).
+	ResumeFrom int64
 }
 
 // Config is the complete system configuration.
@@ -485,6 +498,18 @@ func (c Config) Validate() error {
 	}
 	if c.Run.MeasureCycles <= 0 || c.Run.WarmupCycles < 0 {
 		return errors.New("config: run lengths invalid")
+	}
+	switch {
+	case c.Run.CheckpointAt < 0:
+		return fmt.Errorf("config: CheckpointAt %d must be >= 0", c.Run.CheckpointAt)
+	case c.Run.ResumeFrom < 0:
+		return fmt.Errorf("config: ResumeFrom %d must be >= 0", c.Run.ResumeFrom)
+	case c.Run.CheckpointAt > c.Run.WarmupCycles+c.Run.MeasureCycles:
+		return fmt.Errorf("config: CheckpointAt %d lies past the %d-cycle run window",
+			c.Run.CheckpointAt, c.Run.WarmupCycles+c.Run.MeasureCycles)
+	case c.Run.CheckpointAt != 0 && c.Run.ResumeFrom > c.Run.CheckpointAt:
+		return fmt.Errorf("config: ResumeFrom %d resumes past CheckpointAt %d",
+			c.Run.ResumeFrom, c.Run.CheckpointAt)
 	}
 	if k := c.Run.Shards; k != 0 {
 		switch {

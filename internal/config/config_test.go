@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestBaselinePresetsValid(t *testing.T) {
 	for name, cfg := range map[string]Config{
@@ -88,6 +91,64 @@ func TestValidationRejects(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("%s: invalid config accepted", tc.name)
 		}
+	}
+}
+
+// TestValidateCheckpointFields covers the checkpoint/resume configuration
+// surface. The shard-count agreement between save and restore is not a
+// static property of one Config, so it is enforced at restore time instead
+// — see TestRestoreErrors/shard_count_mismatch in internal/sim.
+func TestValidateCheckpointFields(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Run)
+		wantErr string // substring of the expected error; "" = must validate
+	}{
+		{"disabled", func(r *Run) {}, ""},
+		{"checkpoint at warmup boundary", func(r *Run) {
+			r.CheckpointAt = r.WarmupCycles
+		}, ""},
+		{"checkpoint mid-measurement", func(r *Run) {
+			r.CheckpointAt = r.WarmupCycles + r.MeasureCycles/2
+		}, ""},
+		{"checkpoint at end of window", func(r *Run) {
+			r.CheckpointAt = r.WarmupCycles + r.MeasureCycles
+		}, ""},
+		{"resume at checkpoint", func(r *Run) {
+			r.CheckpointAt = r.WarmupCycles
+			r.ResumeFrom = r.WarmupCycles
+		}, ""},
+		{"resume without checkpoint", func(r *Run) {
+			r.ResumeFrom = r.WarmupCycles
+		}, ""},
+		{"negative checkpoint cycle", func(r *Run) {
+			r.CheckpointAt = -1
+		}, "CheckpointAt"},
+		{"negative resume cycle", func(r *Run) {
+			r.ResumeFrom = -200_000
+		}, "ResumeFrom"},
+		{"checkpoint past run window", func(r *Run) {
+			r.CheckpointAt = r.WarmupCycles + r.MeasureCycles + 1
+		}, "past"},
+		{"resume past checkpoint", func(r *Run) {
+			r.CheckpointAt = r.WarmupCycles
+			r.ResumeFrom = r.WarmupCycles + 1
+		}, "resumes past"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Baseline32()
+			tc.mutate(&cfg.Run)
+			err := cfg.Validate()
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("valid config rejected: %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatal("invalid config accepted")
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -112,7 +112,32 @@ func (c Config) Key() string {
 	appendInt(c.Run.MeasureCycles)
 	appendInt(c.Run.Seed)
 	appendInt(int64(c.Run.Shards))
+	appendInt(c.Run.CheckpointAt)
+	appendInt(c.Run.ResumeFrom)
 	appendBool(c.AppAwareNet)
 
 	return string(b)
+}
+
+// SnapshotKey returns the structural compatibility key of a checkpoint: the
+// Key of the configuration with everything a snapshot does not depend on
+// zeroed out. Two configurations with equal SnapshotKeys describe the same
+// machine state layout (geometry, cache shapes, DRAM organization, trace
+// seed), so a warmup snapshot taken under one restores into the other. Run
+// windows, shard counts (checked separately, since the stepping partition
+// must match) and the prioritization/scheduling policies — pure decision
+// logic with separately-carried state — are deliberately excluded, which is
+// what lets one baseline warmup snapshot fork into Scheme-1/Scheme-2/
+// app-aware measurement configurations.
+func (c Config) SnapshotKey() string {
+	c.Run.WarmupCycles = 0
+	c.Run.MeasureCycles = 0
+	c.Run.Shards = 0
+	c.Run.CheckpointAt = 0
+	c.Run.ResumeFrom = 0
+	c.S1 = Scheme1{}
+	c.S2 = Scheme2{}
+	c.DRAM.Sched = FRFCFS
+	c.AppAwareNet = false
+	return c.Key()
 }

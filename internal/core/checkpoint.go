@@ -1,0 +1,125 @@
+package core
+
+import "nocmem/internal/snapshot"
+
+// Encode serializes the Scheme-1 state: per-application delay averages, the
+// thresholds last pushed to the controllers, the next push cycle, and the
+// tagging counters.
+func (s *Scheme1) Encode(w *snapshot.Writer) {
+	w.I64s(s.sum)
+	w.I64s(s.n)
+	w.I64s(s.published)
+	w.I64(s.nextPush)
+	w.I64(s.Tagged)
+	w.I64(s.Checked)
+}
+
+// Decode restores the Scheme-1 state in place.
+func (s *Scheme1) Decode(r *snapshot.Reader) {
+	sum := r.I64s()
+	n := r.I64s()
+	published := r.I64s()
+	if r.Err() != nil {
+		return
+	}
+	if len(sum) != len(s.sum) || len(n) != len(s.n) || len(published) != len(s.published) {
+		r.Fail("scheme-1 core count mismatch: snapshot %d, config %d", len(sum), len(s.sum))
+		return
+	}
+	copy(s.sum, sum)
+	copy(s.n, n)
+	copy(s.published, published)
+	s.nextPush = r.I64()
+	s.Tagged = r.I64()
+	s.Checked = r.I64()
+}
+
+// SkipScheme1 consumes an encoded Scheme-1 image without applying it, for
+// restoring a snapshot into a configuration that has the scheme disabled.
+func SkipScheme1(r *snapshot.Reader) {
+	r.I64s()
+	r.I64s()
+	r.I64s()
+	r.I64()
+	r.I64()
+	r.I64()
+}
+
+// Encode serializes the Scheme-2 state: every node's Bank History Table
+// (timestamp rings and cursors) plus the tagging counters.
+func (s *Scheme2) Encode(w *snapshot.Writer) {
+	w.Len(len(s.tables))
+	for _, t := range s.tables {
+		w.Len(len(t.stamps))
+		w.Int(t.th)
+		for b := range t.stamps {
+			for _, v := range t.stamps[b] {
+				w.I64(v)
+			}
+			w.Int(t.pos[b])
+		}
+	}
+	w.I64(s.Tagged)
+	w.I64(s.Checked)
+}
+
+// Decode restores the Scheme-2 state in place.
+func (s *Scheme2) Decode(r *snapshot.Reader) {
+	n := r.Len(1)
+	if r.Err() != nil {
+		return
+	}
+	if n != len(s.tables) {
+		r.Fail("scheme-2 node count mismatch: snapshot %d, config %d", n, len(s.tables))
+		return
+	}
+	for _, t := range s.tables {
+		banks := r.Len(1)
+		th := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		if banks != len(t.stamps) || th != t.th {
+			r.Fail("bank-history shape mismatch: snapshot %dx%d, config %dx%d",
+				banks, th, len(t.stamps), t.th)
+			return
+		}
+		for b := range t.stamps {
+			for i := range t.stamps[b] {
+				t.stamps[b][i] = r.I64()
+			}
+			pos := r.Int()
+			if r.Err() != nil {
+				return
+			}
+			if pos < 0 || pos >= t.th {
+				r.Fail("bank-history cursor %d outside [0,%d)", pos, t.th)
+				return
+			}
+			t.pos[b] = pos
+		}
+	}
+	s.Tagged = r.I64()
+	s.Checked = r.I64()
+}
+
+// SkipScheme2 consumes an encoded Scheme-2 image without applying it.
+func SkipScheme2(r *snapshot.Reader) {
+	n := r.Len(1)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		banks := r.Len(1)
+		th := r.Int()
+		if r.Err() != nil || th < 0 || th > r.Remaining()/8 {
+			r.Fail("implausible bank-history shape")
+			return
+		}
+		for b := 0; b < banks && r.Err() == nil; b++ {
+			for j := 0; j < th; j++ {
+				r.I64()
+			}
+			r.Int()
+		}
+	}
+	r.I64()
+	r.I64()
+}

@@ -14,11 +14,14 @@ import (
 	"nocmem/internal/trace"
 )
 
-// IssueFunc sends one memory access into the memory hierarchy. complete must
-// be invoked exactly once, at the cycle the access's data is available. The
-// return value is false when the hierarchy cannot accept the access this
-// cycle (e.g. all L1 MSHRs busy); the core then stalls and retries.
-type IssueFunc func(addr uint64, isWrite bool, complete func(cycle int64)) bool
+// IssueFunc sends one memory access into the memory hierarchy. slot is the
+// ROB slot the access occupies; the hierarchy must call Complete(slot, cycle)
+// exactly once, at the cycle the access's data is available. Carrying the
+// slot as plain data (rather than a completion closure) keeps in-flight
+// accesses serializable for checkpointing. The return value is false when
+// the hierarchy cannot accept the access this cycle (e.g. all L1 MSHRs
+// busy); the core then stalls and retries.
+type IssueFunc func(addr uint64, isWrite bool, slot int) bool
 
 type robEntry struct {
 	isMem  bool
@@ -64,12 +67,6 @@ type Core struct {
 	head  int
 	count int
 
-	// completeFns[slot] marks rob[slot] done; allocated once per slot at
-	// construction so issuing a memory access allocates no closure. A slot
-	// holds at most one in-flight access (it is reused only after commit,
-	// which requires done), so the callback is never outstanding twice.
-	completeFns []func(cycle int64)
-
 	memInFlight int
 
 	pending    trace.Instr
@@ -83,21 +80,21 @@ func New(id int, cfg config.CPU, src trace.Source, issue IssueFunc) *Core {
 	if src == nil || issue == nil {
 		panic(fmt.Sprintf("cpu: core %d missing instruction source or issue path", id))
 	}
-	c := &Core{id: id, cfg: cfg, src: src, issue: issue, rob: make([]robEntry, cfg.WindowSize)}
-	c.completeFns = make([]func(int64), cfg.WindowSize)
-	for slot := range c.completeFns {
-		e := &c.rob[slot]
-		c.completeFns[slot] = func(cycle int64) {
-			e.done = true
-			e.doneAt = cycle
-			c.memInFlight--
-		}
-	}
-	return c
+	return &Core{id: id, cfg: cfg, src: src, issue: issue, rob: make([]robEntry, cfg.WindowSize)}
 }
 
 // ID returns the core's tile index.
 func (c *Core) ID() int { return c.id }
+
+// Complete marks the in-flight memory access in the given ROB slot done at
+// cycle. A slot holds at most one in-flight access (it is reused only after
+// commit, which requires done), so a slot is never completed twice.
+func (c *Core) Complete(slot int, cycle int64) {
+	e := &c.rob[slot]
+	e.done = true
+	e.doneAt = cycle
+	c.memInFlight--
+}
 
 // Tick advances the core one cycle: commit in order, then fetch/issue.
 func (c *Core) Tick(now int64) {
@@ -149,7 +146,7 @@ func (c *Core) fetch(now int64) {
 		}
 		e := &c.rob[slot]
 		*e = robEntry{isMem: true} // written before issue so a same-cycle completion is kept
-		accepted := c.issue(in.Addr, in.IsStore, c.completeFns[slot])
+		accepted := c.issue(in.Addr, in.IsStore, slot)
 		if !accepted {
 			c.stats.FetchStalls++
 			return

@@ -32,7 +32,7 @@ func pureCompute(t *testing.T) *trace.Generator {
 
 func TestPureComputeIPCEqualsWidth(t *testing.T) {
 	cfg := testCPU()
-	c := New(0, cfg, pureCompute(t), func(addr uint64, w bool, done func(int64)) bool {
+	c := New(0, cfg, pureCompute(t), func(addr uint64, w bool, slot int) bool {
 		t.Fatal("no memory access expected")
 		return false
 	})
@@ -45,24 +45,25 @@ func TestPureComputeIPCEqualsWidth(t *testing.T) {
 	}
 }
 
-// memIssue returns an IssueFunc that completes loads after a fixed latency,
-// tracked on a simple event list.
+// memSim is an IssueFunc provider that completes loads after a fixed
+// latency, tracked on a simple (cycle, ROB slot) event list.
 type memSim struct {
+	c       *Core
 	now     int64
 	latency int64
 	pending []struct {
-		at int64
-		fn func(int64)
+		at   int64
+		slot int
 	}
 	issued int
 }
 
-func (m *memSim) issue(addr uint64, isWrite bool, done func(int64)) bool {
+func (m *memSim) issue(addr uint64, isWrite bool, slot int) bool {
 	m.issued++
 	m.pending = append(m.pending, struct {
-		at int64
-		fn func(int64)
-	}{m.now + m.latency, done})
+		at   int64
+		slot int
+	}{m.now + m.latency, slot})
 	return true
 }
 
@@ -71,7 +72,7 @@ func (m *memSim) tick(now int64) {
 	kept := m.pending[:0]
 	for _, p := range m.pending {
 		if p.at <= now {
-			p.fn(now)
+			m.c.Complete(p.slot, now)
 		} else {
 			kept = append(kept, p)
 		}
@@ -91,6 +92,7 @@ func TestMemoryLatencyBoundsIPC(t *testing.T) {
 	cfg := testCPU()
 	ms := &memSim{latency: 200}
 	c := New(0, cfg, allMem(t), ms.issue)
+	ms.c = c
 	for now := int64(0); now < 10000; now++ {
 		ms.tick(now)
 		c.Tick(now)
@@ -111,6 +113,7 @@ func TestLSQBoundsOutstanding(t *testing.T) {
 	cfg := testCPU()
 	ms := &memSim{latency: 100000} // never completes within the test
 	c := New(0, cfg, allMem(t), ms.issue)
+	ms.c = c
 	for now := int64(0); now < 1000; now++ {
 		ms.tick(now)
 		c.Tick(now)
@@ -131,6 +134,7 @@ func TestWindowBlocksOnUnfinishedHead(t *testing.T) {
 	cfg.LSQSize = cfg.WindowSize // isolate the window limit
 	ms := &memSim{latency: 100000}
 	c := New(0, cfg, allMem(t), ms.issue)
+	ms.c = c
 	for now := int64(0); now < 1000; now++ {
 		ms.tick(now)
 		c.Tick(now)
@@ -150,12 +154,13 @@ func TestIssueRejectionRetriesSameInstruction(t *testing.T) {
 	cfg := testCPU()
 	reject := true
 	issued := 0
-	c := New(0, cfg, allMem(t), func(addr uint64, w bool, done func(int64)) bool {
+	var c *Core
+	c = New(0, cfg, allMem(t), func(addr uint64, w bool, slot int) bool {
 		if reject {
 			return false
 		}
 		issued++
-		done(0)
+		c.Complete(slot, 0)
 		return true
 	})
 	for now := int64(0); now < 10; now++ {
@@ -181,6 +186,7 @@ func TestCompletionsExactlyOnce(t *testing.T) {
 	cfg := testCPU()
 	ms := &memSim{latency: 50}
 	c := New(0, cfg, allMem(t), ms.issue)
+	ms.c = c
 	for now := int64(0); now < 5000; now++ {
 		ms.tick(now)
 		c.Tick(now)
@@ -196,7 +202,7 @@ func TestCompletionsExactlyOnce(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	cfg := testCPU()
-	c := New(0, cfg, pureCompute(t), func(uint64, bool, func(int64)) bool { return true })
+	c := New(0, cfg, pureCompute(t), func(uint64, bool, int) bool { return true })
 	for now := int64(0); now < 100; now++ {
 		c.Tick(now)
 	}
@@ -213,6 +219,7 @@ func TestMLPStat(t *testing.T) {
 	cfg := testCPU()
 	ms := &memSim{latency: 100}
 	c := New(0, cfg, allMem(t), ms.issue)
+	ms.c = c
 	for now := int64(0); now < 5000; now++ {
 		ms.tick(now)
 		c.Tick(now)

@@ -1,0 +1,136 @@
+package dram
+
+import "nocmem/internal/snapshot"
+
+// Encode serializes the controller: bus and refresh timers, counters, and
+// every bank's row/occupancy state and request queues in ascending bank
+// order. payload writes one request's opaque Payload handle (the simulator
+// interns its transaction pointers there).
+func (c *Controller) Encode(w *snapshot.Writer, payload func(any)) {
+	w.I64(c.busFreeAt)
+	w.I64(c.nextRefresh)
+	w.I64(c.nextSample)
+	st := c.stats
+	w.I64(st.Reads)
+	w.I64(st.Writes)
+	w.I64(st.RowHits)
+	w.I64(st.RowMisses)
+	w.I64(st.RowConflicts)
+	w.I64(st.QueueWait)
+	w.I64(st.Refreshes)
+	w.I64(st.BusBusy)
+	w.I64(st.QueueDepth)
+	w.I64(st.QueueSamples)
+	w.Len(len(c.banks))
+	for i := range c.banks {
+		b := &c.banks[i]
+		w.I64(b.openRow)
+		w.I64(b.busyUntil)
+		w.I64(b.idleSamples)
+		w.I64(b.idleHits)
+		encodeQueue(w, b.reads, payload)
+		encodeQueue(w, b.writes, payload)
+		w.Bool(b.inFlight != nil)
+		if b.inFlight != nil {
+			encodeRequest(w, b.inFlight, payload)
+		}
+	}
+}
+
+func encodeQueue(w *snapshot.Writer, q []*Request, payload func(any)) {
+	w.Len(len(q))
+	for _, r := range q {
+		encodeRequest(w, r, payload)
+	}
+}
+
+func encodeRequest(w *snapshot.Writer, r *Request, payload func(any)) {
+	w.U64(r.Addr)
+	w.Bool(r.IsWrite)
+	w.Bool(r.Sensitive)
+	w.Int(r.Bank)
+	w.I64(r.Row)
+	w.I64(r.EnqueuedAt)
+	w.I64(r.ScheduledAt)
+	w.I64(r.DoneAt)
+	payload(r.Payload)
+}
+
+// Decode restores the controller state in place. payload reads one
+// request's Payload handle.
+func (c *Controller) Decode(r *snapshot.Reader, payload func() any) {
+	c.busFreeAt = r.I64()
+	c.nextRefresh = r.I64()
+	c.nextSample = r.I64()
+	c.stats.Reads = r.I64()
+	c.stats.Writes = r.I64()
+	c.stats.RowHits = r.I64()
+	c.stats.RowMisses = r.I64()
+	c.stats.RowConflicts = r.I64()
+	c.stats.QueueWait = r.I64()
+	c.stats.Refreshes = r.I64()
+	c.stats.BusBusy = r.I64()
+	c.stats.QueueDepth = r.I64()
+	c.stats.QueueSamples = r.I64()
+	n := r.Len(8)
+	if r.Err() != nil {
+		return
+	}
+	if n != len(c.banks) {
+		r.Fail("bank count mismatch: snapshot %d, config %d", n, len(c.banks))
+		return
+	}
+	if c.nextRefresh < 0 || c.nextSample < 0 {
+		r.Fail("negative controller timer")
+		return
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.openRow = r.I64()
+		b.busyUntil = r.I64()
+		b.idleSamples = r.I64()
+		b.idleHits = r.I64()
+		b.reads = decodeQueue(r, c, i, b.reads, payload)
+		b.writes = decodeQueue(r, c, i, b.writes, payload)
+		b.inFlight = nil
+		if r.Bool() {
+			b.inFlight = decodeRequest(r, c, i, payload)
+		}
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+func decodeQueue(r *snapshot.Reader, c *Controller, bank int, old []*Request, payload func() any) []*Request {
+	n := r.Len(8)
+	if r.Err() != nil {
+		return nil
+	}
+	q := old[:0]
+	for i := 0; i < n; i++ {
+		req := decodeRequest(r, c, bank, payload)
+		if r.Err() != nil {
+			return nil
+		}
+		q = append(q, req)
+	}
+	return q
+}
+
+func decodeRequest(r *snapshot.Reader, c *Controller, bank int, payload func() any) *Request {
+	req := &Request{}
+	req.Addr = r.U64()
+	req.IsWrite = r.Bool()
+	req.Sensitive = r.Bool()
+	req.Bank = r.Int()
+	req.Row = r.I64()
+	req.EnqueuedAt = r.I64()
+	req.ScheduledAt = r.I64()
+	req.DoneAt = r.I64()
+	req.Payload = payload()
+	if r.Err() == nil && req.Bank != bank {
+		r.Fail("request for bank %d queued at bank %d", req.Bank, bank)
+	}
+	return req
+}

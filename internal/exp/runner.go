@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nocmem/internal/config"
+	"nocmem/internal/forkrun"
 	"nocmem/internal/par"
 	"nocmem/internal/sim"
 	"nocmem/internal/trace"
@@ -28,6 +29,15 @@ type Options struct {
 	// sequential path. Every simulation is an independent deterministic
 	// cycle loop, so results are bit-identical at any setting.
 	Parallelism int
+
+	// ShareWarmup amortizes warmup across configurations: the first run of
+	// each compatible group (same substrate, placement, warmup length —
+	// see internal/forkrun) warms up once under the unprioritized baseline
+	// and checkpoints; every run then restores that snapshot and executes
+	// only its measurement window. Runs measuring a scheme warm up under
+	// the baseline policy instead of their own, so results can differ
+	// slightly from cold runs — hence opt-in.
+	ShareWarmup bool
 }
 
 func (o Options) apply(cfg config.Config) config.Config {
@@ -67,6 +77,12 @@ type Runner struct {
 
 	mu   sync.Mutex
 	runs map[string]*runEntry
+
+	// forks holds the warmup snapshots shared across runs when
+	// Options.ShareWarmup is set. Its singleflight slots layer under the
+	// run cache: the run cache dedups identical (config, label) runs, the
+	// fork cache dedups the warmup prefix of distinct runs.
+	forks forkrun.Cache
 
 	progMu   sync.Mutex
 	progress func(format string, args ...any)
@@ -152,12 +168,19 @@ func (r *Runner) execute(cfg config.Config, apps []trace.Profile, label string) 
 	defer func() { <-r.sem }()
 	padded := make([]trace.Profile, cfg.Mesh.Nodes())
 	copy(padded, apps)
+	r.logf("running %s (mesh %dx%d, S1=%v S2=%v)...",
+		label, cfg.Mesh.Width, cfg.Mesh.Height, cfg.S1.Enabled, cfg.S2.Enabled)
+	if r.opts.ShareWarmup {
+		// A waiter on another run's warmup snapshot parks holding its
+		// semaphore slot; the producer holds its own slot, so the wait
+		// always resolves — some parallelism is traded for the shared
+		// warmup.
+		return r.forks.Run(cfg, padded)
+	}
 	s, err := sim.New(cfg, padded)
 	if err != nil {
 		return nil, err
 	}
-	r.logf("running %s (mesh %dx%d, S1=%v S2=%v)...",
-		label, cfg.Mesh.Width, cfg.Mesh.Height, cfg.S1.Enabled, cfg.S2.Enabled)
 	return s.Run(), nil
 }
 

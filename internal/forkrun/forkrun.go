@@ -1,0 +1,141 @@
+// Package forkrun amortizes simulation warmup across configurations.
+//
+// A parameter sweep runs the same workload under N policy variants; without
+// sharing, every variant re-executes an identical (or near-identical) warmup
+// before its measurement window. Cache instead executes the warmup once per
+// compatible group — under the unprioritized baseline policy, since the
+// variants must share one warm state — checkpoints the warmed simulator, and
+// restores that snapshot for every variant's measurement run.
+//
+// Compatibility follows sim.Restore's own rules: a snapshot is keyed by
+// config.SnapshotKey (the policy-free configuration prefix), the application
+// placement, the warmup length and the shard count. Variants differing only
+// in Scheme-1/Scheme-2, the application-aware baselines or the memory
+// scheduler share a snapshot; anything touching the substrate (mesh, caches,
+// DRAM timing, seed, ...) forms its own group.
+//
+// The trade-off: a forked run warms up under the baseline policy even when
+// it measures a scheme, so its results can differ slightly from a cold run
+// whose warmup already had the scheme enabled. Measurement statistics are
+// reset at the fork point either way. Callers opt in explicitly (the -fork
+// flags of cmd/sweep, cmd/figures and cmd/nocsim).
+package forkrun
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"nocmem/internal/config"
+	"nocmem/internal/sim"
+	"nocmem/internal/trace"
+)
+
+// entry is one singleflight slot: done is closed when snap/err are final.
+type entry struct {
+	done chan struct{}
+	snap []byte
+	err  error
+}
+
+// Cache memoizes warmed-up checkpoints. The zero value is ready to use; a
+// Cache is safe for concurrent use. Concurrent runs needing the same
+// snapshot wait for the first requester's warmup instead of repeating it.
+type Cache struct {
+	mu    sync.Mutex
+	snaps map[string]*entry
+}
+
+// Key returns the snapshot cache key of cfg's run: everything that
+// determines whether two runs may restore the same warmed state. The
+// placement is keyed by application name, matching the name check
+// sim.Restore performs against the snapshot header.
+func Key(cfg config.Config, apps []trace.Profile) string {
+	var b strings.Builder
+	b.WriteString(cfg.SnapshotKey())
+	fmt.Fprintf(&b, "|w%d|k%d", cfg.Run.WarmupCycles, cfg.Run.Shards)
+	for _, a := range apps {
+		b.WriteByte('|')
+		b.WriteString(a.Name)
+	}
+	return b.String()
+}
+
+// Snapshots reports how many distinct warmup snapshots the cache holds —
+// i.e. how many warmups were actually executed.
+func (c *Cache) Snapshots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.snaps)
+}
+
+// Run executes cfg's full warmup+measurement window over apps (one profile
+// per tile) and returns the measurement results, sharing the warmup with
+// every other compatible configuration. Runs with no warmup, or that manage
+// checkpoints themselves via Run.CheckpointAt/ResumeFrom, fall back to a
+// plain cold run.
+func (c *Cache) Run(cfg config.Config, apps []trace.Profile) (*sim.Result, error) {
+	if cfg.Run.WarmupCycles <= 0 || cfg.Run.CheckpointAt != 0 || cfg.Run.ResumeFrom != 0 {
+		s, err := sim.New(cfg, apps)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(), nil
+	}
+	snap, err := c.snapshot(cfg, apps)
+	if err != nil {
+		return nil, fmt.Errorf("forkrun: warmup snapshot: %w", err)
+	}
+	rcfg := cfg
+	rcfg.Run.ResumeFrom = cfg.Run.WarmupCycles
+	s, err := sim.Restore(rcfg, apps, bytes.NewReader(snap))
+	if err != nil {
+		return nil, fmt.Errorf("forkrun: restoring warmup snapshot: %w", err)
+	}
+	return s.Run(), nil
+}
+
+// snapshot returns (producing at most once per key) the warmed checkpoint
+// image for cfg's group.
+func (c *Cache) snapshot(cfg config.Config, apps []trace.Profile) ([]byte, error) {
+	key := Key(cfg, apps)
+	c.mu.Lock()
+	if c.snaps == nil {
+		c.snaps = make(map[string]*entry)
+	}
+	if e, ok := c.snaps[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.snap, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.snaps[key] = e
+	c.mu.Unlock()
+	defer close(e.done)
+
+	s, err := sim.New(canonical(cfg), apps)
+	if err != nil {
+		e.err = err
+		return nil, err
+	}
+	s.Step(cfg.Run.WarmupCycles)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		e.err = err
+		return nil, err
+	}
+	e.snap = buf.Bytes()
+	return e.snap, nil
+}
+
+// canonical strips every policy dimension sim.Restore tolerates differing
+// between the snapshot producer and the restoring run, so one warmed
+// snapshot serves the whole policy cross product of its group.
+func canonical(cfg config.Config) config.Config {
+	cfg = cfg.WithSchemes(false, false)
+	cfg.AppAwareNet = false
+	cfg.DRAM.Sched = config.FRFCFS
+	cfg.Run.CheckpointAt, cfg.Run.ResumeFrom = 0, 0
+	return cfg
+}

@@ -1,0 +1,322 @@
+package noc
+
+import "nocmem/internal/snapshot"
+
+// EncodePacketBody serializes one packet's fields. payload writes the
+// opaque Payload handle (the simulator interns its message structs there).
+// The caller (the sim checkpoint layer) is responsible for interning: a
+// packet referenced from several places must be encoded once and referred
+// to by index everywhere else.
+func EncodePacketBody(w *snapshot.Writer, p *Packet, payload func(any)) {
+	w.U64(p.ID)
+	w.Int(p.Src)
+	w.Int(p.Dst)
+	w.Int(p.NumFlits)
+	w.U8(uint8(p.VNet))
+	w.U8(uint8(p.Priority))
+	w.I64(p.Age)
+	w.I64(p.InjectedAt)
+	w.I64(p.EjectedAt)
+	w.Int(p.Hops)
+	w.I64(p.headerEjectAt)
+	w.Int(p.ejectedFlits)
+	payload(p.Payload)
+}
+
+// DecodePacketBody reads one packet's fields into a fresh Packet,
+// validating every index against the mesh size.
+func DecodePacketBody(r *snapshot.Reader, nodes int, payload func() any) *Packet {
+	p := &Packet{}
+	p.ID = r.U64()
+	p.Src = r.Int()
+	p.Dst = r.Int()
+	p.NumFlits = r.Int()
+	p.VNet = VNet(r.U8())
+	p.Priority = Priority(r.U8())
+	p.Age = r.I64()
+	p.InjectedAt = r.I64()
+	p.EjectedAt = r.I64()
+	p.Hops = r.Int()
+	p.headerEjectAt = r.I64()
+	p.ejectedFlits = r.Int()
+	p.Payload = payload()
+	if r.Err() != nil {
+		return p
+	}
+	if err := p.Validate(nodes); err != nil {
+		r.Fail("%v", err)
+		return p
+	}
+	if p.Priority > High || p.Hops < 0 || p.ejectedFlits < 0 || p.ejectedFlits > p.NumFlits {
+		r.Fail("packet %d has invalid priority/hops/ejection state", p.ID)
+	}
+	return p
+}
+
+func encodeFlit(w *snapshot.Writer, f *flit, pktRef func(*Packet)) {
+	pktRef(f.pkt)
+	w.Int(f.seq)
+	w.Bool(f.tail)
+	w.I64(f.routerEntry)
+}
+
+func decodeFlit(r *snapshot.Reader, pktRef func() *Packet) *flit {
+	f := &flit{}
+	f.pkt = pktRef()
+	f.seq = r.Int()
+	f.tail = r.Bool()
+	f.routerEntry = r.I64()
+	if r.Err() != nil {
+		return f
+	}
+	if f.pkt == nil || f.seq < 0 || f.seq >= f.pkt.NumFlits || f.tail != (f.seq == f.pkt.NumFlits-1) {
+		r.Fail("flit sequence state inconsistent with its packet")
+	}
+	return f
+}
+
+// EncodeState serializes the network: summed stats and, per router in
+// ascending id order, the packet sequence counter, every input VC's buffer
+// and pipeline state, output VC ownership and credits, in-flight arrivals
+// and credits, outboxes, injection slots, link counters, and the ejection
+// lock. pktRef writes one packet reference (interned by the caller).
+//
+// Boundary queues must be empty — they always are between Step calls, which
+// is the only legal checkpoint boundary.
+func (n *Network) EncodeState(w *snapshot.Writer, pktRef func(*Packet)) {
+	for _, sh := range n.shards {
+		for _, q := range sh.edgesIn {
+			if len(q.items) != 0 {
+				w.Fail("checkpoint mid-cycle: %d boundary items undrained toward router %d", len(q.items), q.dst)
+				return
+			}
+		}
+	}
+	st := n.Stats()
+	w.I64(st.Injected)
+	w.I64(st.Delivered)
+	w.I64(st.FlitHops)
+	w.I64(st.LatencySum)
+	w.I64(st.HighInjected)
+	w.I64(st.InFlight)
+	for _, r := range n.routers {
+		w.U64(r.pktSeq)
+		for p := 0; p < NumPorts; p++ {
+			for vc := range r.in[p] {
+				v := &r.in[p][vc]
+				w.Len(len(v.buf))
+				for _, f := range v.buf {
+					encodeFlit(w, f, pktRef)
+				}
+				w.Bool(v.routed)
+				w.Bool(v.adaptive)
+				w.Int(v.outPort)
+				w.Bool(v.vaDone)
+				w.Int(v.outVC)
+				w.I64(v.vaEligibleAt)
+				w.I64(v.saEligibleAt)
+				w.I64(v.pktAge)
+			}
+			for vc := range r.out[p] {
+				pktRef(r.out[p][vc].owner)
+				w.Int(r.out[p][vc].credits)
+			}
+			w.Len(len(r.arrivals[p]))
+			for _, a := range r.arrivals[p] {
+				encodeFlit(w, a.f, pktRef)
+				w.Int(a.vc)
+				w.I64(a.at)
+			}
+		}
+		w.Len(len(r.credits))
+		for _, c := range r.credits {
+			w.Int(c.port)
+			w.Int(c.vc)
+			w.I64(c.at)
+		}
+		for vn := 0; vn < int(NumVNets); vn++ {
+			q := &r.outbox[vn]
+			w.Len(q.len())
+			for i := q.head; i < len(q.q); i++ {
+				pktRef(q.q[i])
+			}
+		}
+		w.Len(len(r.inj))
+		for i := range r.inj {
+			pktRef(r.inj[i].pkt)
+			w.Int(r.inj[i].next)
+		}
+		for p := 0; p < NumPorts; p++ {
+			w.I64(r.flitsOut[p])
+		}
+		pktRef(r.ejPkt)
+	}
+}
+
+// DecodeState restores the network in place from a snapshot produced by
+// EncodeState. All restored stats land in shard 0 (the per-shard split is
+// an implementation detail; only sums are observable). pktRef reads one
+// packet reference.
+func (n *Network) DecodeState(r *snapshot.Reader, pktRef func() *Packet) {
+	var st Stats
+	st.Injected = r.I64()
+	st.Delivered = r.I64()
+	st.FlitHops = r.I64()
+	st.LatencySum = r.I64()
+	st.HighInjected = r.I64()
+	st.InFlight = r.I64()
+	if r.Err() != nil {
+		return
+	}
+	for _, sh := range n.shards {
+		sh.stats = Stats{}
+	}
+	n.shards[0].stats = st
+	depth := n.cfg.BufferDepth
+	vcs := n.cfg.VCsPerPort
+	for _, rt := range n.routers {
+		rt.pktSeq = r.U64()
+		rt.buffered = 0
+		rt.injecting = 0
+		rt.ejPkt = nil
+		for p := 0; p < NumPorts; p++ {
+			for vc := range rt.in[p] {
+				v := &rt.in[p][vc]
+				nf := r.Len(1)
+				if r.Err() != nil {
+					return
+				}
+				if nf > depth {
+					r.Fail("router %d vc buffer of %d flits exceeds depth %d", rt.id, nf, depth)
+					return
+				}
+				v.buf = v.buf[:0]
+				for i := 0; i < nf; i++ {
+					f := decodeFlit(r, pktRef)
+					if r.Err() != nil {
+						return
+					}
+					v.buf = append(v.buf, f)
+					rt.buffered++
+				}
+				v.routed = r.Bool()
+				v.adaptive = r.Bool()
+				v.outPort = r.Int()
+				v.vaDone = r.Bool()
+				v.outVC = r.Int()
+				v.vaEligibleAt = r.I64()
+				v.saEligibleAt = r.I64()
+				v.pktAge = r.I64()
+				if r.Err() != nil {
+					return
+				}
+				if v.outPort < 0 || v.outPort >= NumPorts || v.outVC < 0 || v.outVC >= vcs {
+					r.Fail("router %d vc pipeline indices out of range", rt.id)
+					return
+				}
+				if (v.routed || v.vaDone) && v.outPort != PortLocal && rt.neighbor[v.outPort] == nil {
+					r.Fail("router %d routed toward a missing neighbor", rt.id)
+					return
+				}
+			}
+			for vc := range rt.out[p] {
+				rt.out[p][vc].owner = pktRef()
+				c := r.Int()
+				if r.Err() != nil {
+					return
+				}
+				if c < 0 || c > depth {
+					r.Fail("router %d credit count %d outside [0,%d]", rt.id, c, depth)
+					return
+				}
+				rt.out[p][vc].credits = c
+			}
+			na := r.Len(8)
+			if r.Err() != nil {
+				return
+			}
+			rt.arrivals[p] = rt.arrivals[p][:0]
+			for i := 0; i < na; i++ {
+				f := decodeFlit(r, pktRef)
+				vc := r.Int()
+				at := r.I64()
+				if r.Err() != nil {
+					return
+				}
+				if vc < 0 || vc >= vcs {
+					r.Fail("arrival vc %d out of range", vc)
+					return
+				}
+				rt.arrivals[p] = append(rt.arrivals[p], arrival{f: f, vc: vc, at: at})
+			}
+		}
+		nc := r.Len(8)
+		if r.Err() != nil {
+			return
+		}
+		rt.credits = rt.credits[:0]
+		for i := 0; i < nc; i++ {
+			port := r.Int()
+			vc := r.Int()
+			at := r.I64()
+			if r.Err() != nil {
+				return
+			}
+			if port < 0 || port >= NumPorts || vc < 0 || vc >= vcs {
+				r.Fail("credit indices out of range")
+				return
+			}
+			rt.credits = append(rt.credits, creditMsg{port: port, vc: vc, at: at})
+		}
+		for vn := 0; vn < int(NumVNets); vn++ {
+			nq := r.Len(4)
+			if r.Err() != nil {
+				return
+			}
+			q := &rt.outbox[vn]
+			q.q = q.q[:0]
+			q.head = 0
+			for i := 0; i < nq; i++ {
+				p := pktRef()
+				if r.Err() != nil {
+					return
+				}
+				if p == nil {
+					r.Fail("nil packet in outbox")
+					return
+				}
+				q.q = append(q.q, p)
+			}
+		}
+		ni := r.Len(4)
+		if r.Err() != nil {
+			return
+		}
+		if ni != len(rt.inj) {
+			r.Fail("router %d has %d injection slots, snapshot %d", rt.id, len(rt.inj), ni)
+			return
+		}
+		for i := range rt.inj {
+			pkt := pktRef()
+			next := r.Int()
+			if r.Err() != nil {
+				return
+			}
+			if pkt != nil && (next < 0 || next > pkt.NumFlits) {
+				r.Fail("injection cursor %d outside packet", next)
+				return
+			}
+			rt.inj[i] = injSlot{pkt: pkt, next: next}
+			if pkt != nil {
+				rt.injecting++
+			}
+		}
+		for p := 0; p < NumPorts; p++ {
+			rt.flitsOut[p] = r.I64()
+		}
+		rt.ejPkt = pktRef()
+		if r.Err() != nil {
+			return
+		}
+	}
+}

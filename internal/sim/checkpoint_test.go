@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/snapshot"
+	"nocmem/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden checkpoint under testdata")
+
+// takeSnapshot runs the warmup under cfg with the given stepper, writing a
+// checkpoint at Run.CheckpointAt, and returns the snapshot bytes plus the
+// straight-through result of completing the same run.
+func takeSnapshot(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool, shards int) ([]byte, []byte, *Result) {
+	t.Helper()
+	cfg.Run.Shards = shards
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDenseStepping(dense)
+	var snap bytes.Buffer
+	res, err := s.RunWithCheckpoint(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j bytes.Buffer
+	if err := res.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Bytes(), j.Bytes(), res
+}
+
+// resumeRun restores the snapshot under cfg and completes the run.
+func resumeRun(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool, shards int, snap []byte) ([]byte, *Result) {
+	t.Helper()
+	cfg.Run.Shards = shards
+	cfg.Run.ResumeFrom = cfg.Run.CheckpointAt
+	s, err := Restore(cfg, apps, bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDenseStepping(dense)
+	res := s.Run()
+	var j bytes.Buffer
+	if err := res.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j.Bytes(), res
+}
+
+// TestCheckpointForkEquivalence is the tentpole's gate: a run that
+// checkpoints at the warmup boundary and a run that restores from that
+// checkpoint must produce byte-identical statistics — summaries, raw core
+// and network counters, and full per-application latency histograms — under
+// every stepper (dense, event-driven, sharded with 2 and 4 workers).
+func TestCheckpointForkEquivalence(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Run.CheckpointAt = cfg.Run.WarmupCycles
+	apps := fillApps(cfg, "milc", 6)
+
+	modes := []struct {
+		name   string
+		dense  bool
+		shards int
+	}{
+		{"dense", true, 1},
+		{"event", false, 1},
+		{"sharded_2", false, 2},
+		{"sharded_4", false, 4},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			snap, wantJSON, want := takeSnapshot(t, cfg, apps, m.dense, m.shards)
+			if len(snap) == 0 {
+				t.Fatal("no checkpoint written")
+			}
+			gotJSON, got := resumeRun(t, cfg, apps, m.dense, m.shards, snap)
+			expectSame(t, m.name+"_resumed", wantJSON, want, gotJSON, got)
+		})
+	}
+}
+
+// TestCheckpointMidMeasurementFork covers the other checkpoint placement: a
+// snapshot taken inside the measurement window carries the partially-filled
+// collectors, and resuming completes the window byte-identically.
+func TestCheckpointMidMeasurementFork(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Run.CheckpointAt = cfg.Run.WarmupCycles + cfg.Run.MeasureCycles/2
+	apps := fillApps(cfg, "mcf", 4)
+	snap, wantJSON, want := takeSnapshot(t, cfg, apps, false, 1)
+	gotJSON, got := resumeRun(t, cfg, apps, false, 1, snap)
+	expectSame(t, "mid_measurement_resumed", wantJSON, want, gotJSON, got)
+}
+
+// TestCheckpointForksAcrossSchemes exercises the policy-leniency path the
+// experiment runner relies on: a warmup snapshot taken under the baseline
+// restores into Scheme-1+2 and application-aware measurement configurations
+// (the schemes start cold), so one warmup serves every policy variant.
+func TestCheckpointForksAcrossSchemes(t *testing.T) {
+	base := smallConfig()
+	base.Run.CheckpointAt = base.Run.WarmupCycles
+	apps := fillApps(base, "mcf", 6)
+	snap, _, _ := takeSnapshot(t, base, apps, false, 1)
+
+	schemes := base.WithSchemes(true, true)
+	schemes.S1.UpdatePeriod = 2_000
+	appAware := base
+	appAware.AppAwareNet = true
+
+	for name, cfg := range map[string]config.Config{"schemes": schemes, "app_aware": appAware} {
+		_, res := resumeRun(t, cfg, apps, false, 1, snap)
+		active := 0
+		for _, tile := range res.ActiveTiles() {
+			if res.CoreStats[tile].Retired > 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			t.Fatalf("%s: restored fork retired nothing", name)
+		}
+		if name == "schemes" && res.S1Checked == 0 {
+			t.Fatalf("schemes: Scheme-1 never classified a response after forking")
+		}
+	}
+}
+
+// TestCheckpointRoundTrip asserts the format's determinism directly:
+// serialize, restore, serialize again — the two images must be identical
+// byte for byte, as must a re-serialization of the original simulator
+// (the encoder may not mutate what it walks).
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	apps := fillApps(cfg, "mcf", 5)
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(7_000) // enough to have packets, MSHRs and DRAM queues in flight
+
+	var first, again bytes.Buffer
+	if err := s.Checkpoint(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding the same simulator produced different bytes")
+	}
+
+	restored, err := Restore(cfg, apps, bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := restored.Checkpoint(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip is not byte-stable: %d vs %d bytes", first.Len(), second.Len())
+	}
+}
+
+// goldenConfig pins the configuration of the checked-in golden checkpoint.
+// internal/snapshot's fuzz target mirrors it; keep the two in sync.
+func goldenConfig() (config.Config, []trace.Profile) {
+	cfg := config.Baseline16()
+	// Shrunken caches keep the checked-in image (and the fuzz corpus seeded
+	// from it) small; the encoding walk they exercise is identical.
+	cfg.L1.SizeBytes = 8 << 10
+	cfg.L2.SizeBytes = 64 << 10
+	cfg.Run.WarmupCycles = 3_000
+	cfg.Run.MeasureCycles = 4_000
+	cfg.Run.CheckpointAt = 3_000
+	apps := make([]trace.Profile, cfg.Mesh.Nodes())
+	p := trace.MustLookup("milc")
+	for _, tile := range []int{0, 3, 9, 14} {
+		apps[tile] = p
+	}
+	return cfg, apps
+}
+
+// TestCheckpointGolden is the cross-version regression gate: a pinned
+// checkpoint file under testdata must keep restoring into a simulator that
+// completes the run with exactly the pinned statistics. It fails loudly
+// when the format changes without a version bump (silent corruption) or
+// with one (stale golden file), and tells the developer what to do.
+//
+// Regenerate both files after a deliberate format change with:
+//
+//	go test ./internal/sim -run TestCheckpointGolden -update
+func TestCheckpointGolden(t *testing.T) {
+	cfg, apps := goldenConfig()
+	snapPath := filepath.Join("testdata", "golden.snap")
+	jsonPath := filepath.Join("testdata", "golden.json")
+
+	if *updateGolden {
+		snap, resJSON, _ := takeSnapshot(t, cfg, apps, false, 1)
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(snapPath, snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, resJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes) and %s", snapPath, len(snap), jsonPath)
+		return
+	}
+
+	snap, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("missing golden checkpoint: %v — generate it with: go test ./internal/sim -run TestCheckpointGolden -update", err)
+	}
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := resumeRun(t, cfg, apps, false, 1, snap)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("restoring the golden checkpoint no longer reproduces the pinned results.\n"+
+			"If you changed the snapshot encoding, bump snapshot.Version (currently %d) and regenerate with:\n"+
+			"  go test ./internal/sim -run TestCheckpointGolden -update\n--- want ---\n%s\n--- got ---\n%s",
+			snapshot.Version, wantJSON, gotJSON)
+	}
+}
+
+// TestRestoreErrors is the table-driven gate on Restore's validation: every
+// mismatch between the snapshot and the restoring configuration — and every
+// form of byte-level corruption — must surface as an error, never a panic
+// or a silently half-restored simulator.
+func TestRestoreErrors(t *testing.T) {
+	cfg := smallConfig()
+	apps := fillApps(cfg, "milc", 4)
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(6_000)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		cfg     func() config.Config
+		apps    func() []trace.Profile
+		data    func() []byte
+		wantSub string
+	}{
+		{
+			name:    "shard_count_mismatch",
+			cfg:     func() config.Config { c := cfg; c.Run.Shards = 2; return c },
+			wantSub: "shard count must match",
+		},
+		{
+			name: "structural_mismatch",
+			cfg: func() config.Config {
+				c := config.Baseline32()
+				c.Run = cfg.Run
+				return c
+			},
+			apps:    func() []trace.Profile { return fillApps(config.Baseline32(), "milc", 4) },
+			wantSub: "incompatible configuration",
+		},
+		{
+			name: "seed_mismatch",
+			cfg:  func() config.Config { c := cfg; c.Run.Seed = 99; return c },
+			// A different seed is a different machine: the generators replay
+			// a different stream, so the structural key must reject it.
+			wantSub: "incompatible configuration",
+		},
+		{
+			name:    "application_placement_mismatch",
+			apps:    func() []trace.Profile { return fillApps(cfg, "mcf", 4) },
+			wantSub: "in the snapshot",
+		},
+		{
+			name:    "resume_cycle_mismatch",
+			cfg:     func() config.Config { c := cfg; c.Run.ResumeFrom = 123; return c },
+			wantSub: "resumes from cycle 123",
+		},
+		{
+			name:    "bad_magic",
+			data:    func() []byte { d := append([]byte(nil), snap...); d[0] ^= 0xff; return d },
+			wantSub: "bad magic",
+		},
+		{
+			name: "future_version",
+			data: func() []byte {
+				d := append([]byte(nil), snap...)
+				d[8], d[9], d[10], d[11] = 0xff, 0xff, 0xff, 0xff
+				return d
+			},
+			wantSub: "regenerate the checkpoint",
+		},
+		{
+			name:    "truncated",
+			data:    func() []byte { return snap[:len(snap)/2] },
+			wantSub: "",
+		},
+		{
+			name:    "trailing_garbage",
+			data:    func() []byte { return append(append([]byte(nil), snap...), 0xA5) },
+			wantSub: "trailing",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, a, d := cfg, apps, snap
+			if tc.cfg != nil {
+				c = tc.cfg()
+			}
+			if tc.apps != nil {
+				a = tc.apps()
+			}
+			if tc.data != nil {
+				d = tc.data()
+			}
+			_, err := Restore(c, a, bytes.NewReader(d))
+			if err == nil {
+				t.Fatal("Restore accepted an invalid snapshot")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestRestoreNeverPanicsOnPrefixes walks every header-region truncation
+// point and a sweep of body truncations: all must fail cleanly with
+// snapshot.ErrFormat, proving the sticky-reader discipline holds end to
+// end (the fuzz target in internal/snapshot extends this to arbitrary
+// mutations).
+func TestRestoreNeverPanicsOnPrefixes(t *testing.T) {
+	cfg := smallConfig()
+	apps := fillApps(cfg, "milc", 3)
+	s, err := New(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(5_000)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	cuts := []int{0, 1, 7, 8, 11, 12, 20, 50}
+	for n := 100; n < len(snap); n += len(snap) / 37 {
+		cuts = append(cuts, n)
+	}
+	for _, n := range cuts {
+		if n >= len(snap) {
+			continue
+		}
+		_, err := Restore(cfg, apps, bytes.NewReader(snap[:n]))
+		if err == nil {
+			t.Fatalf("Restore accepted a %d-byte prefix of a %d-byte snapshot", n, len(snap))
+		}
+		if !errors.Is(err, snapshot.ErrFormat) {
+			t.Fatalf("prefix %d: error %v is not tagged snapshot.ErrFormat", n, err)
+		}
+	}
+}
+
+// TestRunWithCheckpointPlacement pins the checkpoint-cycle semantics Run
+// and the runner depend on: the snapshot records exactly CheckpointAt as
+// its cycle, and a boundary snapshot is taken before the statistics reset.
+func TestRunWithCheckpointPlacement(t *testing.T) {
+	for _, ck := range []int64{2_000, 5_000, 9_000} {
+		cfg := smallConfig()
+		cfg.Run.WarmupCycles = 5_000
+		cfg.Run.MeasureCycles = 6_000
+		cfg.Run.CheckpointAt = ck
+		apps := fillApps(cfg, "milc", 2)
+		snap, _, _ := takeSnapshot(t, cfg, apps, false, 1)
+		cfg.Run.ResumeFrom = ck
+		s, err := Restore(cfg, apps, bytes.NewReader(snap))
+		if err != nil {
+			t.Fatalf("CheckpointAt=%d: %v", ck, err)
+		}
+		if s.Now() != ck {
+			t.Fatalf("CheckpointAt=%d: snapshot restored at cycle %d", ck, s.Now())
+		}
+	}
+}

@@ -44,6 +44,26 @@ func expectSame(t *testing.T, name string, refJSON []byte, ref *Result, gotJSON 
 	if ref.Net != got.Net {
 		t.Fatalf("%s network stats differ:\ndense %+v\n%s %+v", name, ref.Net, name, got.Net)
 	}
+	expectSameHistograms(t, name, ref, got)
+}
+
+// expectSameHistograms compares the per-application latency distributions —
+// full bucket contents, not just the means the JSON summary carries — so a
+// stepper or checkpoint path that perturbs individual samples cannot hide
+// behind aggregate-level agreement.
+func expectSameHistograms(t *testing.T, name string, ref, got *Result) {
+	t.Helper()
+	for i := range ref.Collector.RoundTrip {
+		if !reflect.DeepEqual(ref.Collector.RoundTrip[i], got.Collector.RoundTrip[i]) {
+			t.Fatalf("%s: tile %d round-trip latency histogram differs from reference", name, i)
+		}
+		if !reflect.DeepEqual(ref.Collector.SoFar[i], got.Collector.SoFar[i]) {
+			t.Fatalf("%s: tile %d so-far delay histogram differs from reference", name, i)
+		}
+		if !reflect.DeepEqual(ref.Collector.Breakdown[i], got.Collector.Breakdown[i]) {
+			t.Fatalf("%s: tile %d per-leg breakdown differs from reference", name, i)
+		}
+	}
 }
 
 // TestEventDenseEquivalence is the scheduler's correctness oracle, now

@@ -15,13 +15,12 @@ type inItem struct {
 	at  int64
 }
 
-// action is node-local scheduled work: either a callback (fn != nil, used
-// for hit/store completions with the core's preallocated callbacks) or a
-// delayed L1->L2 request send carried as plain data (fn == nil), so the
-// miss path allocates no closure.
+// action is node-local scheduled work, carried as plain data so it
+// serializes for checkpointing: either a delayed L1->L2 request send
+// (txn != nil) or a hit/store completion of a core ROB slot (txn == nil).
 type action struct {
 	at   int64
-	fn   func(now int64)
+	slot int32
 	txn  *Txn
 	line uint64
 }
@@ -40,10 +39,13 @@ type node struct {
 
 	core *cpu.Core // nil on tiles without an application
 	l1   *cache.Cache
-	l1m  *cache.MSHRTable
+	// l1m waiters are core ROB slot indices (noWaiter for stores, whose
+	// fill needs no core notification).
+	l1m *cache.MSHRTable[int32]
 
-	l2  *cache.Cache
-	l2m *cache.MSHRTable
+	l2 *cache.Cache
+	// l2m waiters are the demand transactions coalesced onto the fetch.
+	l2m *cache.MSHRTable[*Txn]
 
 	// txnSeq numbers this tile's demand transactions; combined with the
 	// tile id it yields process-wide unique Txn IDs without any shared
@@ -80,9 +82,9 @@ func newNode(id int, s *Simulator) *node {
 		lastCoreTick: -1,
 
 		l1:  cache.New(cfg.L1.SizeBytes, cfg.L1.LineBytes, cfg.L1.Ways),
-		l1m: cache.NewMSHRTable(cfg.L1.MSHRs),
+		l1m: cache.NewMSHRTable[int32](cfg.L1.MSHRs),
 		l2:  cache.New(cfg.L2.SizeBytes, cfg.L2.LineBytes, cfg.L2.Ways),
-		l2m: cache.NewMSHRTable(cfg.L2.MSHRs),
+		l2m: cache.NewMSHRTable[*Txn](cfg.L2.MSHRs),
 	}
 	n.l1.SetLIPInsertion(cfg.L1.LIPInsertion)
 	n.l2.SetLIPInsertion(cfg.L2.LIPInsertion)
@@ -270,8 +272,7 @@ func (n *node) finishL2(it inItem, now int64) {
 		if !ok {
 			panic(fmt.Sprintf("sim: L2 bank %d fill for line %#x without an MSHR", n.id, m.line))
 		}
-		for _, w := range mshr.Waiters {
-			wt := w.(*Txn)
+		for _, wt := range mshr.Waiters {
 			n.dirAdd(m.line, wt.Core)
 			wt.RespAtL2 = it.at
 			wt.MemDone = t.MemDone
@@ -332,7 +333,9 @@ func (n *node) fillL1(it inItem, now int64) {
 			noc.VNetRequest, noc.Normal, 0, msgWBL1toL2, nil, v.Addr)
 	}
 	for _, w := range mshr.Waiters {
-		w.(func(int64))(now)
+		if w != noWaiter {
+			n.core.Complete(int(w), now)
+		}
 	}
 	n.l1m.Release(mshr)
 	t.Done = now
@@ -342,23 +345,27 @@ func (n *node) fillL1(it inItem, now int64) {
 	}
 }
 
+// noWaiter marks an L1 MSHR waiter needing no core notification on fill
+// (stores, which complete against the store buffer instead).
+const noWaiter = int32(-1)
+
 // issue is the core's path into the memory hierarchy (cpu.IssueFunc).
 //
 // Stores complete against the store buffer after the L1 latency and never
 // block the instruction window; the line fetch they trigger on a miss still
 // runs to completion (write-allocate) and marks the line dirty.
-func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
+func (n *node) issue(addr uint64, isWrite bool, slot int) bool {
 	// issue only runs inside this tile's core.Tick, so the executing cycle
 	// is lastCoreTick (set at the top of tickCore). Under sharded stepping
 	// s.now is advanced before the phases run and must not be read here.
 	now := n.lastCoreTick
 	line := n.l1.LineAddr(addr)
-	waiter := complete
+	waiter := int32(slot)
 	if isWrite {
-		waiter = func(int64) {} // the fill needs no core notification
+		waiter = noWaiter
 	}
-	done := func() { // store-buffer / L1-hit completion
-		n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, fn: complete})
+	done := func() { // store-buffer / L1-hit completion of the ROB slot
+		n.delayed = append(n.delayed, action{at: now + n.s.cfg.L1.Latency, slot: int32(slot)})
 	}
 	if n.l1m.Pending(line) {
 		// Must coalesce (the line is already being fetched); the lookup
@@ -390,7 +397,7 @@ func (n *node) issue(addr uint64, isWrite bool, complete func(int64)) bool {
 	return true
 }
 
-// sendL1Request fires a delayed miss request (the fn == nil action form).
+// sendL1Request fires a delayed miss request (the txn != nil action form).
 func (n *node) sendL1Request(t *Txn, line uint64, at int64) {
 	n.sh.send(at, n.id, n.s.snuca.Bank(line), n.s.cfg.RequestFlits(),
 		noc.VNetRequest, n.s.pol.BasePriority(n.id), 0, msgReqL1toL2, t, line)
@@ -417,10 +424,10 @@ func (n *node) tickCore(now int64) {
 			switch {
 			case a.at > now:
 				kept = append(kept, a)
-			case a.fn != nil:
-				a.fn(now)
-			default:
+			case a.txn != nil:
 				n.sendL1Request(a.txn, a.line, now)
+			default:
+				n.core.Complete(int(a.slot), now)
 			}
 		}
 		n.delayed = kept

@@ -264,12 +264,11 @@ func (s *Simulator) resetStats() {
 }
 
 // Run executes the configured warmup and measurement window and returns the
-// results.
+// results. On a simulator positioned past cycle 0 (a Restore), the
+// already-elapsed prefix of the window is skipped; see RunWithCheckpoint.
 func (s *Simulator) Run() *Result {
-	s.Step(s.cfg.Run.WarmupCycles)
-	s.resetStats()
-	s.Step(s.cfg.Run.MeasureCycles)
-	return s.results()
+	res, _ := s.RunWithCheckpoint(nil) // cannot fail without a sink
+	return res
 }
 
 // Result is everything measured in one simulation window.

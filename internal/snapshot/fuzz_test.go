@@ -1,0 +1,62 @@
+// Fuzzing lives in an external test package so it can drive the real
+// consumer of this format — sim.Restore — without an import cycle: the sim
+// package imports snapshot, so the fuzz harness for the format exercises
+// the full decode path from here.
+package snapshot_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocmem/internal/config"
+	"nocmem/internal/sim"
+	"nocmem/internal/trace"
+)
+
+// fuzzConfig mirrors goldenConfig in internal/sim/checkpoint_test.go — the
+// configuration the checked-in golden checkpoint was taken under. Keep the
+// two in sync, or the seed corpus entry degenerates into an instant header
+// rejection and the fuzzer never reaches the interesting decode paths.
+func fuzzConfig() (config.Config, []trace.Profile) {
+	cfg := config.Baseline16()
+	cfg.L1.SizeBytes = 8 << 10
+	cfg.L2.SizeBytes = 64 << 10
+	cfg.Run.WarmupCycles = 3_000
+	cfg.Run.MeasureCycles = 4_000
+	cfg.Run.CheckpointAt = 3_000
+	apps := make([]trace.Profile, cfg.Mesh.Nodes())
+	p := trace.MustLookup("milc")
+	for _, tile := range []int{0, 3, 9, 14} {
+		apps[tile] = p
+	}
+	return cfg, apps
+}
+
+// FuzzRestore feeds arbitrary bytes — seeded with the real golden
+// checkpoint, so mutations explore the deep decode paths — into
+// sim.Restore. The contract under fuzzing: corrupted, truncated or
+// adversarial input must come back as an error. It must never panic, hang,
+// or hand back a silently half-restored simulator: on a nil error the
+// restored instance is stepped to prove it is actually runnable.
+func FuzzRestore(f *testing.F) {
+	golden, err := os.ReadFile(filepath.Join("..", "sim", "testdata", "golden.snap"))
+	if err != nil {
+		f.Fatalf("reading seed corpus: %v (regenerate with: go test ./internal/sim -run TestCheckpointGolden -update)", err)
+	}
+	f.Add(golden)
+	f.Add(golden[:len(golden)/3])
+	f.Add([]byte("NOCSNAP1\x01\x00\x00\x00"))
+	f.Add([]byte{})
+
+	cfg, apps := fuzzConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := sim.Restore(cfg, apps, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A snapshot that decodes fully must yield a working simulator.
+		s.Step(3)
+	})
+}

@@ -1,0 +1,296 @@
+// Package snapshot provides the low-level primitives of the simulator's
+// checkpoint format: a versioned, deterministic little-endian binary
+// encoding with sticky-error writers and bounded, fuzz-safe readers.
+//
+// The format is deliberately dumb: fixed-width integers, length-prefixed
+// slices, and nothing self-describing. Determinism is a format requirement,
+// not an accident — the same simulator state must always encode to the same
+// bytes (maps are written in sorted key order, shared pointers are interned
+// in first-encounter order), because the round-trip test asserts
+// serialize→restore→serialize byte-stability and the runner keys warmup
+// snapshots by content-derived cache keys.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic identifies a checkpoint stream. It is followed by a little-endian
+// uint32 format version.
+const Magic = "NOCSNAP1"
+
+// Version is the checkpoint format version this binary reads and writes.
+// Bump it on ANY change to the encoding walk, then regenerate the golden
+// file under internal/sim/testdata (see TestCheckpointGolden).
+const Version = 1
+
+// ErrFormat tags every decode error produced by this package.
+var ErrFormat = errors.New("snapshot: invalid checkpoint")
+
+// Writer serializes primitive values with a sticky error. All methods are
+// no-ops after the first write failure.
+type Writer struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+// NewWriter wraps w and emits the magic and version header.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w}
+	sw.write([]byte(Magic))
+	sw.U32(Version)
+	return sw
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Fail records an application-level encoding error.
+func (w *Writer) Fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf("snapshot: encode: "+format, args...)
+	}
+}
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf[0] = byte(v)
+	w.buf[1] = byte(v >> 8)
+	w.buf[2] = byte(v >> 16)
+	w.buf[3] = byte(v >> 24)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.buf[i] = byte(v >> (8 * i))
+	}
+	w.write(w.buf[:8])
+}
+
+// I64 writes an int64 as its two's-complement uint64 image.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 via its IEEE-754 bit image.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Len writes a collection length.
+func (w *Writer) Len(n int) {
+	if n < 0 || n > math.MaxUint32 {
+		w.Fail("length %d out of range", n)
+		return
+	}
+	w.U32(uint32(n))
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Len(len(s))
+	w.write([]byte(s))
+}
+
+// I64s writes a length-prefixed int64 slice.
+func (w *Writer) I64s(vs []int64) {
+	w.Len(len(vs))
+	for _, v := range vs {
+		w.I64(v)
+	}
+}
+
+// F64s writes a length-prefixed float64 slice.
+func (w *Writer) F64s(vs []float64) {
+	w.Len(len(vs))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// Reader decodes a checkpoint stream with a sticky error. It buffers the
+// whole input up front so every length prefix can be validated against the
+// bytes actually remaining — corrupted or truncated input fails cleanly
+// instead of provoking huge allocations or panics.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader consumes r fully and validates the magic and version header.
+func NewReader(r io.Reader) (*Reader, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return NewReaderBytes(data)
+}
+
+// NewReaderBytes validates the header of an in-memory checkpoint image.
+func NewReaderBytes(data []byte) (*Reader, error) {
+	sr := &Reader{data: data}
+	magic := make([]byte, len(Magic))
+	sr.bytes(magic)
+	if sr.err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("%w: bad magic (not a checkpoint file)", ErrFormat)
+	}
+	if v := sr.U32(); sr.err != nil || v != Version {
+		return nil, fmt.Errorf("%w: format version %d, but this binary reads version %d — regenerate the checkpoint with the current binary, or bump snapshot.Version after a deliberate format change", ErrFormat, v, Version)
+	}
+	return sr, nil
+}
+
+// Err returns the first decode error, if any, wrapped with ErrFormat.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records an application-level decode error.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s (at offset %d)", ErrFormat, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+func (r *Reader) bytes(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(dst) > len(r.data) {
+		r.Fail("truncated: need %d bytes, have %d", len(dst), len(r.data)-r.off)
+		return
+	}
+	copy(dst, r.data[r.off:])
+	r.off += len(dst)
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	var b [1]byte
+	r.bytes(b[:])
+	return b[0]
+}
+
+// Bool reads a bool; any byte other than 0 or 1 is an error.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail("invalid bool byte")
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	var b [8]byte
+	r.bytes(b[:])
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64-encoded int, failing if it overflows the platform int.
+func (r *Reader) Int() int {
+	v := r.I64()
+	if int64(int(v)) != v {
+		r.Fail("int %d overflows", v)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a collection length and validates it against the remaining
+// input, assuming each element occupies at least elemSize bytes.
+func (r *Reader) Len(elemSize int) int {
+	n := int(r.U32())
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if r.err == nil && n > r.Remaining()/elemSize {
+		r.Fail("implausible length %d (only %d bytes left)", n, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len(1)
+	if r.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	return string(b)
+}
+
+// I64s reads a length-prefixed int64 slice.
+func (r *Reader) I64s() []int64 {
+	n := r.Len(8)
+	if r.err != nil {
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.I64()
+	}
+	return vs
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (r *Reader) F64s() []float64 {
+	n := r.Len(8)
+	if r.err != nil {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.F64()
+	}
+	return vs
+}

@@ -1,0 +1,125 @@
+package stats
+
+import "nocmem/internal/snapshot"
+
+// Encode serializes the histogram. The shape (width, bucket count) is part
+// of the image so Decode can reject snapshots taken under a different
+// configuration.
+func (h *Histogram) Encode(w *snapshot.Writer) {
+	w.I64(h.width)
+	w.I64s(h.buckets)
+	w.I64(h.count)
+	w.I64(h.sum)
+	w.I64(h.min)
+	w.I64(h.max)
+}
+
+// Decode restores the histogram in place. The encoded shape must match h's.
+func (h *Histogram) Decode(r *snapshot.Reader) {
+	width := r.I64()
+	buckets := r.I64s()
+	if r.Err() != nil {
+		return
+	}
+	if width != h.width || len(buckets) != len(h.buckets) {
+		r.Fail("histogram shape mismatch: snapshot %dx%d, config %dx%d",
+			width, len(buckets), h.width, len(h.buckets))
+		return
+	}
+	copy(h.buckets, buckets)
+	h.count = r.I64()
+	h.sum = r.I64()
+	h.min = r.I64()
+	h.max = r.I64()
+	for _, b := range h.buckets {
+		if b < 0 {
+			r.Fail("negative histogram bucket")
+			return
+		}
+	}
+	if h.count < 0 {
+		r.Fail("negative histogram count")
+	}
+}
+
+// Encode serializes the running mean.
+func (m *RunningMean) Encode(w *snapshot.Writer) {
+	w.I64(m.n)
+	w.F64(m.sum)
+}
+
+// Decode restores the running mean in place.
+func (m *RunningMean) Decode(r *snapshot.Reader) {
+	m.n = r.I64()
+	m.sum = r.F64()
+	if m.n < 0 {
+		r.Fail("negative running-mean count")
+	}
+}
+
+// Encode serializes the breakdown.
+func (b *Breakdown) Encode(w *snapshot.Writer) {
+	w.I64(b.width)
+	w.Len(len(b.counts))
+	for i := range b.counts {
+		w.I64(b.counts[i])
+		for l := 0; l < int(NumLegs); l++ {
+			w.I64(b.sums[i][l])
+		}
+	}
+	for l := 0; l < int(NumLegs); l++ {
+		w.I64(b.overall[l])
+	}
+	w.I64(b.total)
+}
+
+// Decode restores the breakdown in place. The encoded shape must match b's.
+func (b *Breakdown) Decode(r *snapshot.Reader) {
+	width := r.I64()
+	n := r.Len(8 * (1 + int(NumLegs)))
+	if r.Err() != nil {
+		return
+	}
+	if width != b.width || n != len(b.counts) {
+		r.Fail("breakdown shape mismatch: snapshot %dx%d, config %dx%d",
+			width, n, b.width, len(b.counts))
+		return
+	}
+	for i := 0; i < n; i++ {
+		b.counts[i] = r.I64()
+		for l := 0; l < int(NumLegs); l++ {
+			b.sums[i][l] = r.I64()
+		}
+	}
+	for l := 0; l < int(NumLegs); l++ {
+		b.overall[l] = r.I64()
+	}
+	b.total = r.I64()
+}
+
+// Encode serializes the series.
+func (s *Series) Encode(w *snapshot.Writer) {
+	w.I64(s.interval)
+	w.F64s(s.sums)
+	w.I64s(s.counts)
+}
+
+// Decode restores the series in place, keeping its configured interval.
+func (s *Series) Decode(r *snapshot.Reader) {
+	interval := r.I64()
+	sums := r.F64s()
+	counts := r.I64s()
+	if r.Err() != nil {
+		return
+	}
+	if interval != s.interval {
+		r.Fail("series interval mismatch: snapshot %d, config %d", interval, s.interval)
+		return
+	}
+	if len(sums) != len(counts) {
+		r.Fail("series arrays disagree: %d sums, %d counts", len(sums), len(counts))
+		return
+	}
+	s.sums = sums
+	s.counts = counts
+}

@@ -1,0 +1,39 @@
+package trace
+
+import "fmt"
+
+// Advance replays n instructions and discards them. The generator's stream
+// is deterministic in (profile, coreID, seed), so a freshly constructed
+// generator advanced by Issued() is byte-for-byte the generator a snapshot
+// was taken from — the checkpoint format stores only the issue count
+// instead of the PRNG internals.
+func (g *Generator) Advance(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		g.Next()
+	}
+}
+
+// Progress returns the replay cursor for checkpointing.
+func (t *FileTrace) Progress() (pos int, loops int64) { return t.pos, t.loops }
+
+// SetProgress restores the replay cursor. pos must land exactly on a record
+// boundary of the capture; anything else is rejected so a corrupted
+// checkpoint cannot make Next read past the buffer.
+func (t *FileTrace) SetProgress(pos int, loops int64) error {
+	if pos < 0 || pos > len(t.data) || loops < 0 {
+		return fmt.Errorf("trace: replay cursor %d/%d out of range", pos, loops)
+	}
+	for p := 0; p < pos; {
+		if t.data[p]&flagMem != 0 {
+			p += 9
+		} else {
+			p++
+		}
+		if p > pos {
+			return fmt.Errorf("trace: replay cursor %d inside a record", pos)
+		}
+	}
+	t.pos = pos
+	t.loops = loops
+	return nil
+}

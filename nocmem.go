@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"nocmem/internal/config"
+	"nocmem/internal/forkrun"
 	"nocmem/internal/par"
 	"nocmem/internal/sim"
 	"nocmem/internal/stats"
@@ -128,11 +129,45 @@ func RunApps(cfg Config, apps []Profile) (*Result, error) {
 	}
 	padded := make([]Profile, nodes)
 	copy(padded, apps)
+	if ShareWarmup() {
+		return forkCache.Run(cfg, padded)
+	}
 	s, err := sim.New(cfg, padded)
 	if err != nil {
 		return nil, err
 	}
 	return s.Run(), nil
+}
+
+// forkCache holds the warmup snapshots shared across the facade's runs while
+// warmup sharing is on. Keyed by the policy-free configuration prefix, the
+// placement, the warmup length and the shard count (see internal/forkrun),
+// so configurations differing only in Scheme-1/2 or the application-aware
+// baselines fork from one warmed checkpoint.
+var (
+	forkMu      sync.Mutex
+	shareWarmup bool
+	forkCache   forkrun.Cache
+)
+
+// SetShareWarmup toggles warmup sharing for the package-level run helpers
+// (RunApps, RunWorkload, SpeedupFor, AloneIPC): each group of compatible
+// configurations executes its warmup once under the unprioritized baseline,
+// checkpoints, and forks every measurement run from the snapshot. Runs
+// measuring a scheme then warm up under the baseline policy instead of their
+// own, so results can differ slightly from cold runs — an explicit opt-in
+// for sweeps that prefer wall-clock over exactness of the warm state.
+func SetShareWarmup(on bool) {
+	forkMu.Lock()
+	shareWarmup = on
+	forkMu.Unlock()
+}
+
+// ShareWarmup reports whether warmup sharing is on.
+func ShareWarmup() bool {
+	forkMu.Lock()
+	defer forkMu.Unlock()
+	return shareWarmup
 }
 
 // parallelism is the worker-pool width of the facade's parallel helpers
