@@ -2,8 +2,8 @@
 # vet, build, the checkpoint fork-equivalence oracle under the race detector
 # (fast fail), the full test suite under the race detector, and a smoke run
 # of the perf harness (micro-benchmarks plus the sharded-vs-sequential
-# byte-equality gate, regression-gated; the full harness writing
-# BENCH_4.json is `make bench`).
+# and bursty dense/event/sharded byte-equality gates, regression-gated;
+# the full harness writing BENCH_5.json is `make bench`).
 
 GO ?= go
 
@@ -32,9 +32,10 @@ fork-race:
 	$(GO) test -race -run 'TestCheckpointForkEquivalence|TestCheckpointRoundTrip' ./internal/sim
 
 # Full perf-regression harness: micro-benchmarks, dense-vs-event stepper
-# comparison, the sharded-stepper sweep (with its sequential byte-equality
-# gate), the checkpoint-fork warmup-amortization point, and the
-# sequential-vs-parallel figure sweep, written to BENCH_4.json for
+# comparison (including the bursty router-timed-wake scenario and its
+# byte-equality gate), the sharded-stepper sweep (with its sequential
+# byte-equality gate), the checkpoint-fork warmup-amortization point, and
+# the sequential-vs-parallel figure sweep, written to BENCH_5.json for
 # before/after comparison.
 bench:
 	$(GO) run ./cmd/bench

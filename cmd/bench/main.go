@@ -5,7 +5,10 @@
 //     allocs per cycle for the 32- and 16-core systems, and per network tick
 //     of a loaded mesh),
 //   - the event-driven stepper against the dense reference stepper on an
-//     idle-heavy (alone run), a mixed and a saturated workload,
+//     idle-heavy (alone run), a mixed, a saturated and a bursty workload
+//     (alternating hot/idle phases over a heterogeneously clocked mesh —
+//     the router-timed-wake case, gated by its own dense/event/sharded
+//     byte-equality check),
 //   - the sharded parallel stepper at 1, 2 and 4 workers on the saturated
 //     workload (after gating that the sharded run reproduces the sequential
 //     one byte for byte), and
@@ -19,7 +22,7 @@
 //
 // Usage:
 //
-//	bench                     # full harness -> BENCH_4.json
+//	bench                     # full harness -> BENCH_5.json
 //	bench -out -              # JSON to stdout
 //	bench -quick              # smaller op counts (CI smoke)
 //	bench -skip-sweep         # micro + stepper benchmarks only
@@ -141,7 +144,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out       = flag.String("out", "BENCH_4.json", "output file ('-' = stdout)")
+		out       = flag.String("out", "BENCH_5.json", "output file ('-' = stdout)")
 		quick     = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
 		skipSweep = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
 		shards    = flag.String("shards", "1,2,4", "comma-separated shard counts for the sharded-stepper sweep ('' = skip)")
@@ -178,6 +181,7 @@ func main() {
 		})
 	}
 
+	burstyEqualityGate(*quick)
 	rep.Stepper = stepperBenches(*quick)
 
 	if *shards != "" {
@@ -220,16 +224,30 @@ func main() {
 	}
 }
 
-// stepperWorkloads returns the three dense-vs-event comparison points:
-// idle-heavy (one compute-bound namd alone on 32 tiles — 31 idle tiles and a
-// mostly quiet mesh, the alone-run shape the paper's normalization baseline
-// needs in bulk), mixed (half-loaded 16-tile system), and saturated (all 32
-// tiles running the most memory-intensive workload).
-func stepperWorkloads() []struct {
+// stepperWorkload is one dense-vs-event comparison point. Profile-named
+// workloads leave srcs nil; synthetic ones (bursty) provide a factory so
+// each run gets fresh, deterministic source state.
+type stepperWorkload struct {
 	name string
 	cfg  config.Config
 	apps []trace.Profile
-} {
+	srcs func() []trace.AppSource
+}
+
+func (wl stepperWorkload) newSim() (*sim.Simulator, error) {
+	if wl.srcs != nil {
+		return sim.NewFromSources(wl.cfg, wl.srcs(), wl.apps)
+	}
+	return sim.New(wl.cfg, wl.apps)
+}
+
+// stepperWorkloads returns the dense-vs-event comparison points: idle-heavy
+// (one compute-bound namd alone on 32 tiles — 31 idle tiles and a mostly
+// quiet mesh, the alone-run shape the paper's normalization baseline needs
+// in bulk), mixed (half-loaded 16-tile system), saturated (all 32 tiles
+// running the most memory-intensive workload), and bursty (alternating
+// hot/idle phases, the router-timed-wake case).
+func stepperWorkloads() []stepperWorkload {
 	alone := make([]trace.Profile, config.Baseline32().Mesh.Nodes())
 	alone[0] = trace.MustLookup("namd")
 
@@ -255,14 +273,111 @@ func stepperWorkloads() []struct {
 		log.Fatal(err)
 	}
 
-	return []struct {
-		name string
-		cfg  config.Config
-		apps []trace.Profile
-	}{
-		{"idle_heavy_alone_namd_32", config.Baseline32(), alone},
-		{"mixed_w1_half_16", config.Baseline16(), mixed},
-		{"saturated_w7_32", config.Baseline32(), saturated},
+	burstyCfg, burstyApps, burstySrcs := burstyWorkload()
+
+	return []stepperWorkload{
+		{name: "idle_heavy_alone_namd_32", cfg: config.Baseline32(), apps: alone},
+		{name: "mixed_w1_half_16", cfg: config.Baseline16(), apps: mixed},
+		{name: "saturated_w7_32", cfg: config.Baseline32(), apps: saturated},
+		{name: "bursty_hot_idle_32", cfg: burstyCfg, apps: burstyApps, srcs: burstySrcs},
+	}
+}
+
+// burstySource emits alternating phases: a burst of cold memory misses that
+// hard-stalls the core against off-chip latency (the mesh and DRAM go hot),
+// then a stretch of non-memory instructions (the mesh drains while the core
+// computes). This is the load shape where routers used to busy-tick — every
+// burst leaves in-flight arrivals and pending credit returns rippling
+// through the mesh — and where BENCH_2's idle-heavy scenario showed nothing.
+type burstySource struct {
+	burst, gap int // phase lengths, in instructions
+	hotLeft    int
+	gapLeft    int
+	addr       uint64
+	stride     uint64
+}
+
+func (b *burstySource) Next() trace.Instr {
+	if b.hotLeft > 0 {
+		b.hotLeft--
+		if b.hotLeft == 0 {
+			b.gapLeft = b.gap
+		}
+		a := b.addr
+		b.addr += b.stride
+		return trace.Instr{IsMem: true, IsStore: b.hotLeft%5 == 0, Addr: a}
+	}
+	b.gapLeft--
+	if b.gapLeft <= 0 {
+		b.hotLeft = b.burst
+	}
+	return trace.Instr{}
+}
+
+func (b *burstySource) PrewarmLines() (hot, warm []uint64) { return nil, nil }
+
+// burstyWorkload builds the bursty comparison point: six bursty cores spread
+// over the 32-tile mesh (the rest idle), with three routers running below
+// the mesh clock so their div-aligned wakes are exercised on a hot path.
+func burstyWorkload() (config.Config, []trace.Profile, func() []trace.AppSource) {
+	cfg := config.Baseline32()
+	cfg.NoC.ClockDivisors = map[int]int{10: 2, 13: 2, 19: 4}
+	nodes := cfg.Mesh.Nodes()
+	apps := make([]trace.Profile, nodes)
+	hot := []int{2, 5, 11, 20, 26, 29}
+	for _, tile := range hot {
+		apps[tile] = trace.Profile{Name: "bursty"}
+	}
+	srcs := func() []trace.AppSource {
+		out := make([]trace.AppSource, nodes)
+		for i, tile := range hot {
+			out[tile] = &burstySource{
+				burst:   200,
+				gap:     8_000,
+				hotLeft: 200,
+				addr:    uint64(i+1) << 30,
+				stride:  64 * 512,
+			}
+		}
+		return out
+	}
+	return cfg, apps, srcs
+}
+
+// burstyEqualityGate runs a short bursty window under the dense reference,
+// the event stepper and the 2-shard parallel stepper and dies unless all
+// three produce byte-identical results — the harness-level determinism gate
+// for router timed wakes, run on every `make bench-smoke` pass.
+func burstyEqualityGate(quick bool) {
+	cfg, apps, srcs := burstyWorkload()
+	cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 5_000, 15_000
+	if quick {
+		cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 2_000, 6_000
+	}
+	runJSON := func(dense bool, shards int) []byte {
+		c := cfg
+		c.Run.Shards = shards
+		s, err := sim.NewFromSources(c, srcs(), apps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.SetDenseStepping(dense)
+		var buf bytes.Buffer
+		if err := s.Run().WriteJSON(&buf); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	log.Printf("bursty equality gate: dense vs event vs sharded...")
+	ref := runJSON(true, 1)
+	for _, mode := range []struct {
+		name   string
+		shards int
+	}{{"event", 1}, {"sharded_2", 2}} {
+		if got := runJSON(false, mode.shards); !bytes.Equal(ref, got) {
+			log.Fatalf("bursty %s run does not reproduce the dense result:\n--- dense ---\n%s\n--- %s ---\n%s",
+				mode.name, ref, mode.name, got)
+		}
 	}
 }
 
@@ -283,7 +398,7 @@ func stepperBenches(quick bool) []stepperResult {
 			}
 			log.Printf("running stepper %s (%s)...", wl.name, mode)
 			r := testing.Benchmark(func(b *testing.B) {
-				s, err := sim.New(wl.cfg, wl.apps)
+				s, err := wl.newSim()
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -81,6 +81,15 @@ func (m Mesh) Nodes() int { return m.Width * m.Height }
 // (typos like 1000x1000) from allocating gigabytes before failing elsewhere.
 const MaxMeshTiles = 1024
 
+// NumVNets is the number of virtual networks the NoC multiplexes over each
+// physical link (requests and responses; protocol deadlock freedom requires
+// keeping them on disjoint VCs). The router splits VCsPerPort evenly across
+// the virtual networks by integer division, so Validate rejects any
+// VCsPerPort not divisible by NumVNets — a non-divisible value would
+// silently strand the trailing VCs on every port. Mirrored by a
+// compile-time assertion against noc.NumVNets.
+const NumVNets = 2
+
 // ShardGrid splits the mesh into k rectangular shards and returns the shard
 // grid dimensions (sx columns, sy rows of shards). k must be a power of two.
 // It halves the longer tile dimension first, so shards stay as square as
@@ -108,8 +117,9 @@ type NoC struct {
 	Pipeline RouterPipeline
 
 	// VCsPerPort is the number of virtual channels per input port.
-	// The VCs are split evenly into two virtual networks (requests and
-	// responses), so this must be even and at least 2.
+	// The VCs are split evenly across the NumVNets virtual networks
+	// (requests and responses), so this must be a positive multiple of
+	// NumVNets; Validate rejects anything else.
 	VCsPerPort int
 
 	// BufferDepth is the per-VC buffer capacity in flits.
@@ -413,8 +423,9 @@ func (c Config) Validate() error {
 	case c.Mesh.Nodes() > MaxMeshTiles:
 		return fmt.Errorf("config: mesh %dx%d has %d tiles (max %d)",
 			c.Mesh.Width, c.Mesh.Height, c.Mesh.Nodes(), MaxMeshTiles)
-	case c.NoC.VCsPerPort < 2 || c.NoC.VCsPerPort%2 != 0:
-		return fmt.Errorf("config: VCsPerPort %d must be even and >= 2", c.NoC.VCsPerPort)
+	case c.NoC.VCsPerPort < NumVNets || c.NoC.VCsPerPort%NumVNets != 0:
+		return fmt.Errorf("config: VCsPerPort %d must be a positive multiple of the %d virtual networks (VCs are split evenly per vnet; a remainder would strand trailing VCs)",
+			c.NoC.VCsPerPort, NumVNets)
 	case c.NoC.BufferDepth < 1:
 		return errors.New("config: BufferDepth must be >= 1")
 	case c.NoC.FlitBits < 64:

@@ -94,6 +94,39 @@ func TestValidationRejects(t *testing.T) {
 	}
 }
 
+// TestValidateVCsPerVNet pins the divisibility rule: the router splits
+// VCsPerPort across NumVNets virtual networks by integer division, so any
+// remainder would silently strand trailing VCs on every port.
+func TestValidateVCsPerVNet(t *testing.T) {
+	cases := []struct {
+		vcs int
+		ok  bool
+	}{
+		{0, false},
+		{1, false},
+		{2, true},
+		{3, false},
+		{4, true},
+		{5, false},
+		{6, true},
+		{7, false},
+		{8, true},
+		{-2, false},
+	}
+	for _, tc := range cases {
+		cfg := Baseline32()
+		cfg.NoC.VCsPerPort = tc.vcs
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("VCsPerPort=%d: rejected valid config: %v", tc.vcs, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("VCsPerPort=%d: accepted %d VCs not divisible by %d vnets",
+				tc.vcs, tc.vcs, NumVNets)
+		}
+	}
+}
+
 // TestValidateCheckpointFields covers the checkpoint/resume configuration
 // surface. The shard-count agreement between save and restore is not a
 // static property of one Config, so it is enforced at restore time instead

@@ -83,6 +83,14 @@ func decodeFlit(r *snapshot.Reader, pktRef func() *Packet) *flit {
 //
 // Boundary queues must be empty — they always are between Step calls, which
 // is the only legal checkpoint boundary.
+//
+// Scheduler state (per-shard active sets and router wake heaps) is
+// deliberately NOT serialized: it is an over-approximation of "may have work"
+// that restore re-derives by re-arming every router active (sim.Restore calls
+// SetDenseStepping, whose event-mode switch runs applyEventMode), after which
+// the first executed cycles shrink the sets back via nextWake. Keeping wakes
+// out of the snapshot keeps the format stepper-agnostic and byte-stable
+// regardless of which stepper produced the checkpoint.
 func (n *Network) EncodeState(w *snapshot.Writer, pktRef func(*Packet)) {
 	for _, sh := range n.shards {
 		for _, q := range sh.edgesIn {

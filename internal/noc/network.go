@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"nocmem/internal/bitset"
@@ -55,11 +56,23 @@ type Network struct {
 
 	// eventDriven switches Tick from the dense sweep over all routers to
 	// iterating only the per-shard active sets. A router leaves its set when
-	// idle() and re-enters through wake, which is called at every point work
-	// can appear (Inject, arrival hand-off, credit return, boundary drain).
-	// Spurious wakes are harmless — a ticked router with nothing due changes
-	// no state — so the sets may over-approximate but never under-approximate.
+	// it has nothing executable next cycle — either drained (no state, no
+	// wake) or holding only future-dated work, in which case it parks a
+	// timed wake for its exact next deadline (router.nextWake) on its
+	// shard's wake heap. It re-enters through wakeAt, called at every point
+	// work can appear (Inject, arrival hand-off, credit return, boundary
+	// drain), or when its heap wake comes due (TickShard). Spurious wakes
+	// are harmless — a ticked router with nothing due changes no state — so
+	// the sets and heaps may over-approximate but never under-approximate.
 	eventDriven bool
+}
+
+// routerWake is one scheduled router activation: router id may have
+// executable work at cycle at. Entries are never cancelled; a stale one
+// causes a harmless spurious tick at its deadline.
+type routerWake struct {
+	at int64
+	id int32
 }
 
 // netShard owns a disjoint subset of routers. Everything a router mutates
@@ -76,9 +89,52 @@ type netShard struct {
 	stats   Stats      // counters for events executed by this shard's routers
 	edgesIn []*edgeQueue
 
+	// wakes is the min-heap of timed router wakes for this shard's members,
+	// mirroring the node/controller heaps in internal/sim. Touched only by
+	// the shard's own worker (TickShard drains, TickShard/DrainShard push),
+	// so no synchronization is needed.
+	wakes []routerWake
+
 	// flitFree recycles flits. A flit born in one shard may die (eject) in
 	// another; pools migrate objects freely since recycled flits are zeroed.
 	flitFree []*flit
+}
+
+// pushWake schedules a router activation (min-heap on at, sift-up).
+func (sh *netShard) pushWake(at int64, id int) {
+	sh.wakes = append(sh.wakes, routerWake{at: at, id: int32(id)})
+	i := len(sh.wakes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if sh.wakes[p].at <= sh.wakes[i].at {
+			break
+		}
+		sh.wakes[p], sh.wakes[i] = sh.wakes[i], sh.wakes[p]
+		i = p
+	}
+}
+
+// popWake removes and returns the earliest wake (sift-down).
+func (sh *netShard) popWake() routerWake {
+	w := sh.wakes[0]
+	last := len(sh.wakes) - 1
+	sh.wakes[0] = sh.wakes[last]
+	sh.wakes = sh.wakes[:last]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < len(sh.wakes) && sh.wakes[l].at < sh.wakes[small].at {
+			small = l
+		}
+		if r := 2*i + 2; r < len(sh.wakes) && sh.wakes[r].at < sh.wakes[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		sh.wakes[i], sh.wakes[small] = sh.wakes[small], sh.wakes[i]
+		i = small
+	}
+	return w
 }
 
 func (sh *netShard) getFlit() *flit {
@@ -209,10 +265,12 @@ func (n *Network) SetEventDriven(on bool) {
 }
 
 // applyEventMode re-derives the mode-dependent state: per-shard active sets
-// (full in event mode, unused in dense mode) and the routers' live boundary
-// queues. Boundary queues are active only in event mode with more than one
-// shard — the dense sweep is single-goroutine and appends across shards
-// directly — so any parked items are flushed to their destinations first.
+// and wake heaps (every router active with an empty heap in event mode —
+// exact wakes re-derive as the sets shrink — both unused in dense mode) and
+// the routers' live boundary queues. Boundary queues are active only in
+// event mode with more than one shard — the dense sweep is single-goroutine
+// and appends across shards directly — so any parked items are flushed to
+// their destinations first.
 func (n *Network) applyEventMode() {
 	sharded := n.eventDriven && len(n.shards) > 1
 	if !sharded {
@@ -222,6 +280,7 @@ func (n *Network) applyEventMode() {
 	}
 	for _, sh := range n.shards {
 		sh.active.Clear()
+		sh.wakes = sh.wakes[:0]
 		if n.eventDriven {
 			for _, id := range sh.members {
 				sh.active.Add(id)
@@ -237,24 +296,48 @@ func (n *Network) applyEventMode() {
 	}
 }
 
-// wake marks a router as having (possibly future) work. Only ever called for
-// routers of the shard executing the current phase; cross-shard activation
-// happens in DrainShard.
-func (n *Network) wake(id int) {
+// wakeAt tells the scheduler router id may have executable work at cycle at
+// (produced during cycle now): an already-active router needs nothing, a
+// sleeping one gets a timed wake on its shard's heap — or immediate
+// re-activation when the deadline is effectively next cycle, where a heap
+// round trip buys nothing. Only ever called for routers of the shard
+// executing the current phase; cross-shard activation happens in DrainShard.
+func (n *Network) wakeAt(id int, at, now int64) {
+	if !n.eventDriven {
+		return
+	}
 	r := n.routers[id]
-	r.sh.active.Add(id)
+	if r.sh.active.Has(id) {
+		return
+	}
+	if at = r.wakeAlign(at); at <= now+1 {
+		r.sh.active.Add(id)
+	} else {
+		r.sh.pushWake(at, id)
+	}
 }
 
-// RoutersQuiet reports whether every shard's active set is empty, i.e. no
-// flit is buffered, injecting, or in flight anywhere. Only meaningful in
-// event-driven mode, between cycles (after all shards drained).
-func (n *Network) RoutersQuiet() bool {
+// QuietTarget reports whether every router is quiet at now — all active sets
+// empty and no timed wake due — and, when quiet, the earliest pending router
+// wake (math.MaxInt64 when none), for the simulator's quiescence
+// fast-forward. A due wake (head at <= now) means the cycle must execute so
+// TickShard can drain it. Only meaningful in event-driven mode, between
+// cycles (after all shards drained).
+func (n *Network) QuietTarget(now int64) (next int64, quiet bool) {
+	next = math.MaxInt64
 	for _, sh := range n.shards {
 		if !sh.active.Empty() {
-			return false
+			return 0, false
+		}
+		if len(sh.wakes) > 0 {
+			if at := sh.wakes[0].at; at <= now {
+				return 0, false
+			} else if at < next {
+				next = at
+			}
 		}
 	}
-	return true
+	return next, true
 }
 
 // Nodes returns the number of tiles.
@@ -338,13 +421,20 @@ func (n *Network) Tick(now int64) {
 	}
 }
 
-// TickShard advances the active routers of one shard by one cycle. Routers
-// activated mid-sweep by an earlier router's dispatch only gained
+// TickShard advances the active routers of one shard by one cycle: due timed
+// wakes re-join the active set first (so woken routers tick in the same
+// ascending-id order as everyone else), then each active router ticks and is
+// retired again if its next executable work lies beyond the next cycle —
+// with a heap wake for that exact deadline unless it drained completely.
+// Routers activated mid-sweep by an earlier router's dispatch only gained
 // future-dated work (arrivals land at now+div+1, credits at now+1), so
 // whether the sweep happens to reach them this cycle or not is immaterial —
 // their tick would change no state, exactly as in the dense sweep.
 func (n *Network) TickShard(shard int, now int64) {
 	sh := n.shards[shard]
+	for len(sh.wakes) > 0 && sh.wakes[0].at <= now {
+		sh.active.Add(int(sh.popWake().id))
+	}
 	for wi := range sh.active {
 		w := sh.active[wi]
 		for w != 0 {
@@ -352,19 +442,25 @@ func (n *Network) TickShard(shard int, now int64) {
 			w &= w - 1
 			r := n.routers[id]
 			r.tick(now)
-			if r.idle() {
+			if at, ok := r.nextWake(now); !ok {
 				sh.active.Remove(id)
+			} else if at > now+1 {
+				sh.active.Remove(id)
+				sh.pushWake(at, id)
 			}
 		}
 	}
 }
 
 // DrainShard moves boundary items queued by neighboring shards' routers into
-// this shard's router state, waking the receivers. Queues are visited in the
-// fixed order SetPartition built, and each queue is FIFO, so the merge is
-// deterministic. Every item is future-dated relative to the cycle that
-// produced it, so draining between cycles is equivalent to the sequential
-// stepper's direct append. Must be called by this shard's worker, after the
+// this shard's router state. Queues are visited in the fixed order
+// SetPartition built, and each queue is FIFO, so the merge is deterministic.
+// Every item is future-dated relative to the cycle that produced it, so
+// draining between cycles is equivalent to the sequential stepper's direct
+// append. A sleeping receiver is woken at the earliest item deadline, not
+// immediately: once the first item is processed the router's own nextWake
+// covers the rest, so the min suffices and the receiver executes zero ticks
+// before its work is due. Must be called by this shard's worker, after the
 // barrier that ends the tick phase.
 func (n *Network) DrainShard(shard int) {
 	sh := n.shards[shard]
@@ -373,14 +469,20 @@ func (n *Network) DrainShard(shard int) {
 			continue
 		}
 		r := n.routers[q.dst]
+		minAt := int64(math.MaxInt64)
 		for _, it := range q.items {
 			if it.f != nil {
 				r.arrivals[it.port] = append(r.arrivals[it.port], arrival{f: it.f, vc: it.vc, at: it.at})
 			} else {
 				r.credits = append(r.credits, creditMsg{port: it.port, vc: it.vc, at: it.at})
 			}
+			if it.at < minAt {
+				minAt = it.at
+			}
 		}
-		sh.active.Add(q.dst)
+		if n.eventDriven && !sh.active.Has(q.dst) {
+			sh.pushWake(r.wakeAlign(minAt), q.dst)
+		}
 		q.items = q.items[:0]
 	}
 }
@@ -441,7 +543,10 @@ func (n *Network) MaxLinkLoad() int64 {
 }
 
 // Quiesce verifies that no packet is buffered, in flight or awaiting
-// injection anywhere; used by tests to prove message conservation.
+// injection anywhere; used by tests to prove message conservation. The
+// predicate is drained() — no router state at all — and the error says which
+// category tripped: a router that holds only scheduled credit returns is
+// reported as such, distinct from one stranding flits or packets.
 func (n *Network) Quiesce() error {
 	if inFlight := n.Stats().InFlight; inFlight != 0 {
 		return fmt.Errorf("noc: %d packets still in flight", inFlight)
@@ -454,10 +559,48 @@ func (n *Network) Quiesce() error {
 		}
 	}
 	for _, r := range n.routers {
-		if !r.idle() {
-			return fmt.Errorf("noc: router %d not idle (buffered=%d injecting=%d outbox=%d arrivals=%d)",
-				r.id, r.buffered, r.injecting, r.outboxLen(), r.pendingArrivals())
+		if r.drained() {
+			continue
+		}
+		if r.buffered == 0 && r.injecting == 0 && r.outboxLen() == 0 && r.pendingArrivals() == 0 {
+			return fmt.Errorf("noc: router %d not drained: waiting on %d scheduled credit returns (no flit or packet held)",
+				r.id, len(r.credits))
+		}
+		return fmt.Errorf("noc: router %d not drained (buffered=%d injecting=%d outbox=%d arrivals=%d credits=%d)",
+			r.id, r.buffered, r.injecting, r.outboxLen(), r.pendingArrivals(), len(r.credits))
+	}
+	return nil
+}
+
+// DebugLeaks verifies the event scheduler reached its true fixed point after
+// a full drain: every router drained, every shard's active set and wake heap
+// empty, every boundary queue empty. A leaked wake or active bit would keep
+// re-ticking (or re-scheduling) a drained router forever; a missing one
+// shows up earlier as stranded work in Quiesce. Stale-but-future wakes are
+// legal between cycles, so this is only meaningful after stepping past the
+// last pending deadline (each forces one executed cycle that pops it).
+func (n *Network) DebugLeaks() error {
+	if err := n.Quiesce(); err != nil {
+		return err
+	}
+	for _, sh := range n.shards {
+		if k := sh.active.Count(); k != 0 {
+			return fmt.Errorf("noc: shard %d holds %d active routers after drain", sh.id, k)
+		}
+		if len(sh.wakes) != 0 {
+			return fmt.Errorf("noc: shard %d holds %d pending router wakes after drain (earliest at cycle %d for router %d)",
+				sh.id, len(sh.wakes), sh.wakes[0].at, sh.wakes[0].id)
 		}
 	}
 	return nil
+}
+
+// DebugRouterTicks returns how many times router id's tick was invoked and
+// how many of those invocations executed the pipeline stages (the rest were
+// clock-gated or had nothing due). The split is what the scheduler tests
+// pin: executions are identical across dense/event/sharded stepping, while
+// calls collapse to the executed set once timed wakes replace busy-ticking.
+func (n *Network) DebugRouterTicks(id int) (calls, execs int64) {
+	r := n.routers[id]
+	return r.tickCalls, r.tickExecs
 }

@@ -13,7 +13,11 @@
 // required by the mechanism.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"nocmem/internal/config"
+)
 
 // Priority is a packet's network priority class.
 type Priority uint8
@@ -47,6 +51,10 @@ const (
 	// NumVNets is the number of virtual networks.
 	NumVNets
 )
+
+// config.Validate enforces VCsPerPort % config.NumVNets == 0 on behalf of
+// vnetRange's even split; fail the build if the two constants ever diverge.
+var _ = [1]struct{}{}[NumVNets-config.NumVNets]
 
 // Packet is one network message. A packet is split into NumFlits flits at
 // injection and reassembled at ejection (wormhole switching).

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math"
 
 	"nocmem/internal/config"
 )
@@ -155,6 +156,13 @@ type router struct {
 	// for link-utilization reporting.
 	flitsOut [NumPorts]int64
 
+	// tickCalls counts invocations of tick; tickExecs counts the subset that
+	// passed the clock/idleNow gate and ran the pipeline stages. Debug-only
+	// (DebugRouterTicks): the scheduler tests pin these to prove sleeping
+	// routers are not busy-ticked.
+	tickCalls int64
+	tickExecs int64
+
 	// ejPkt locks the local ejection port to one packet from header until
 	// tail: the sink reassembles packets, so flits of competing packets are
 	// not interleaved into it. (Matches the emergent behavior of age-based
@@ -182,13 +190,90 @@ func (r *router) outboxLen() int {
 	return n
 }
 
-// idle reports whether the router has no work at all this cycle.
-func (r *router) idle() bool {
+// drained reports whether the router holds no state at all: no buffered or
+// injecting flit, no queued packet, no in-flight arrival and no pending
+// credit return. This is the message-conservation predicate (Quiesce); a
+// router that is merely waiting on future-dated work is NOT drained but may
+// still be idleNow.
+func (r *router) drained() bool {
 	return r.buffered == 0 && r.injecting == 0 && len(r.credits) == 0 &&
 		r.outboxLen() == 0 && r.pendingArrivals() == 0
 }
 
-// vnetOf returns the VC range [lo, hi) serving the given virtual network.
+// idleNow reports whether the router has nothing executable at cycle now: no
+// pipeline work (buffered, injecting or outbox flits) and no credit or
+// arrival due by now. Future-dated credits and arrivals leave the router
+// un-drained but still idle this cycle — its tick would be a no-op.
+func (r *router) idleNow(now int64) bool {
+	if r.buffered > 0 || r.injecting > 0 || r.outboxLen() > 0 {
+		return false
+	}
+	for _, c := range r.credits {
+		if c.at <= now {
+			return false
+		}
+	}
+	for p := range r.arrivals {
+		if q := r.arrivals[p]; len(q) > 0 && q[0].at <= now {
+			return false
+		}
+	}
+	return true
+}
+
+// wakeAlign rounds a wake deadline up to the router's clock grid: a router
+// with div > 1 executes only on div-aligned cycles, so a deadline between
+// grid points cannot be acted on before the next aligned cycle.
+func (r *router) wakeAlign(at int64) int64 {
+	if rem := at % r.div; rem != 0 {
+		at += r.div - rem
+	}
+	return at
+}
+
+// nextWake returns the earliest future cycle at which the router may have
+// executable work, given its state after ticking at now: the next
+// div-aligned cycle when pipeline work (buffered, injecting or outbox flits)
+// exists, and the div-aligned deadline of the earliest pending credit
+// (processCredits) and queued arrival (acceptArrivals). ok is false when the
+// router is drained — no state, no wake needed. The per-port arrival queues
+// are deadline-sorted (each has a single producer appending nondecreasing
+// times, the property acceptArrivals already relies on), so their heads
+// suffice; the credit list is small and scanned whole.
+func (r *router) nextWake(now int64) (at int64, ok bool) {
+	if r.buffered > 0 || r.injecting > 0 || r.outboxLen() > 0 {
+		// Nothing can beat the next aligned cycle: every credit/arrival
+		// deadline is either already due (clamped up to it) or future-dated
+		// and div-aligned (at least it). Skipping the scans keeps retirement
+		// O(1) for busy routers — the hot case on loaded meshes.
+		return r.wakeAlign(now + 1), true
+	}
+	at = math.MaxInt64
+	for _, c := range r.credits {
+		if w := r.wakeAlign(c.at); w < at {
+			at = w
+		}
+	}
+	for p := range r.arrivals {
+		if q := r.arrivals[p]; len(q) > 0 {
+			if w := r.wakeAlign(q[0].at); w < at {
+				at = w
+			}
+		}
+	}
+	if at == math.MaxInt64 {
+		return 0, false
+	}
+	if at <= now { // a deadline due but unprocessed: run the next aligned cycle
+		at = r.wakeAlign(now + 1)
+	}
+	return at, true
+}
+
+// vnetRange returns the VC range [lo, hi) serving the given virtual network.
+// The split is exact: config.Validate rejects VCsPerPort values not divisible
+// by NumVNets, which would otherwise strand the trailing VCs of every port
+// (the integer division below would assign them to no virtual network).
 func (r *router) vnetRange(v VNet) (lo, hi int) {
 	per := r.net.cfg.VCsPerPort / int(NumVNets)
 	lo = int(v) * per
@@ -293,11 +378,17 @@ func (r *router) fastSetup(p *Packet) bool {
 	return r.net.cfg.EnableBypass && p.Priority == High
 }
 
-// tick advances the router by one cycle.
+// tick advances the router by one cycle. On a non-divisor cycle, or when
+// nothing is executable (idleNow — drained, or all work future-dated), the
+// pipeline stages are skipped: the skipped body is a no-op by construction,
+// so the dense sweep and the event scheduler stay byte-identical whether or
+// not the call happens at all.
 func (r *router) tick(now int64) {
-	if now%r.div != 0 || r.idle() {
+	r.tickCalls++
+	if now%r.div != 0 || r.idleNow(now) {
 		return
 	}
+	r.tickExecs++
 	r.processCredits(now)
 	r.acceptArrivals(now)
 	r.fillInjections(now)
@@ -604,7 +695,7 @@ func (r *router) dispatch(ref vcRef, now int64) {
 			nb := r.neighbor[v.outPort]
 			nb.arrivals[opposite(v.outPort)] = append(nb.arrivals[opposite(v.outPort)],
 				arrival{f: f, vc: v.outVC, at: now + r.div + 1})
-			r.net.wake(nb.id)
+			r.net.wakeAt(nb.id, now+r.div+1, now)
 		}
 		if f.tail {
 			slot.owner = nil
@@ -621,7 +712,7 @@ func (r *router) dispatch(ref vcRef, now int64) {
 		} else {
 			up := r.neighbor[ref.port]
 			up.credits = append(up.credits, creditMsg{port: opposite(ref.port), vc: ref.vc, at: now + 1})
-			r.net.wake(up.id)
+			r.net.wakeAt(up.id, now+1, now)
 		}
 	}
 

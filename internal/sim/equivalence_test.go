@@ -79,7 +79,9 @@ func TestEventDenseEquivalence(t *testing.T) {
 	base := smallConfig()
 
 	hetero := smallConfig()
-	hetero.NoC.ClockDivisors = map[int]int{5: 2, 10: 4}
+	// Tile 0 hosts both a core and a memory controller in smallConfig, so a
+	// divisor there exercises router timed wakes on the busiest tile.
+	hetero.NoC.ClockDivisors = map[int]int{0: 2, 5: 2, 10: 4}
 
 	schemes := smallConfig().WithSchemes(true, true)
 	schemes.S1.UpdatePeriod = 2_000
@@ -221,6 +223,11 @@ func TestQuiesceAfterDrain(t *testing.T) {
 	s.resetStats() // the collector only counts inside a measurement window
 	s.Step(2_000_000)
 	if err := s.QuiesceCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// The event scheduler must also reach its fixed point: no active bit or
+	// router wake may leak once everything is drained.
+	if err := s.net.DebugLeaks(); err != nil {
 		t.Fatal(err)
 	}
 	r := s.results()

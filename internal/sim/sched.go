@@ -119,12 +119,19 @@ func (s *Simulator) stepDense(cycles int64) {
 // active component, no packet in flight, no wake or policy push due — and if
 // so, the cycle to fast-forward to: the earliest future deadline, capped at
 // end. A due wake (head at <= now) means the cycle must execute; phaseFront
-// drains it into the active sets.
+// (and TickShard, for router wakes) drains it into the active sets. Routers
+// contribute their own wake horizon: a router waiting only on future-dated
+// arrivals or credit returns no longer blocks fast-forward, it merely bounds
+// how far it may jump.
 func (s *Simulator) quietTarget(now, end int64) (int64, bool) {
-	if !s.net.RoutersQuiet() {
+	routerNext, quiet := s.net.QuietTarget(now)
+	if !quiet {
 		return 0, false
 	}
 	next := end
+	if routerNext < next {
+		next = routerNext
+	}
 	for _, sh := range s.shards {
 		if !sh.nodeActive.Empty() || !sh.mcActive.Empty() {
 			return 0, false
