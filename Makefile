@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fork-race bench bench-smoke ci
+.PHONY: all build vet test race fork-race bench bench-smoke profile ci
 
 all: build
 
@@ -46,5 +46,13 @@ bench:
 # sharded run fails to reproduce the sequential result byte for byte.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -skip-sweep -out - -check BENCH_1.json
+
+# Profile the harness itself: a quick pass with CPU and heap profiles written
+# next to the repo, ready for `go tool pprof cpu.pprof`. See ARCHITECTURE.md
+# ("Profiling workflow") for how to read the output.
+profile:
+	$(GO) run ./cmd/bench -quick -skip-sweep -shards "" -out /dev/null \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
 ci: vet build fork-race race bench-smoke

@@ -26,12 +26,13 @@ type candidate struct {
 	ord int
 }
 
-// makeCandidate builds the contender for the front flit of v. The so-far
-// delay is the VC's header-carried snapshot (see inVC.pktAge) plus the front
-// flit's local residence; no live Packet field is read, so arbitration at
-// one router never observes (or races with) header progress at another.
-func (r *router) makeCandidate(v *inVC, f *flit, now int64, ord int) candidate {
-	c := candidate{f: f, age: v.pktAge + (now - f.routerEntry), ord: ord}
+// makeCandidate builds the contender for the front flit of input VC i. The
+// so-far delay is the VC's header-carried snapshot (see router.inAge) plus
+// the front flit's local residence; no live Packet field is read, so
+// arbitration at one router never observes (or races with) header progress
+// at another.
+func (r *router) makeCandidate(i int, f *flit, now int64, ord int) candidate {
+	c := candidate{f: f, age: r.inAge[i] + (now - f.routerEntry), ord: ord}
 	if r.net.arb.mode == config.Batching {
 		c.batch = f.pkt.InjectedAt / r.net.arb.batchInterval
 	}

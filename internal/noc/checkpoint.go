@@ -110,24 +110,26 @@ func (n *Network) EncodeState(w *snapshot.Writer, pktRef func(*Packet)) {
 	for _, r := range n.routers {
 		w.U64(r.pktSeq)
 		for p := 0; p < NumPorts; p++ {
-			for vc := range r.in[p] {
-				v := &r.in[p][vc]
-				w.Len(len(v.buf))
-				for _, f := range v.buf {
+			for vc := 0; vc < r.vcs; vc++ {
+				i := r.vci(p, vc)
+				w.Len(len(r.inBuf[i]))
+				for _, f := range r.inBuf[i] {
 					encodeFlit(w, f, pktRef)
 				}
-				w.Bool(v.routed)
-				w.Bool(v.adaptive)
-				w.Int(v.outPort)
-				w.Bool(v.vaDone)
-				w.Int(v.outVC)
-				w.I64(v.vaEligibleAt)
-				w.I64(v.saEligibleAt)
-				w.I64(v.pktAge)
+				flags := r.inFlags[i]
+				w.Bool(flags&vcRouted != 0)
+				w.Bool(flags&vcAdaptive != 0)
+				w.Int(int(r.inOutPort[i]))
+				w.Bool(flags&vcVADone != 0)
+				w.Int(int(r.inOutVC[i]))
+				w.I64(r.inVAAt[i])
+				w.I64(r.inSAAt[i])
+				w.I64(r.inAge[i])
 			}
-			for vc := range r.out[p] {
-				pktRef(r.out[p][vc].owner)
-				w.Int(r.out[p][vc].credits)
+			for vc := 0; vc < r.vcs; vc++ {
+				i := r.vci(p, vc)
+				pktRef(r.outOwner[i])
+				w.Int(int(r.outCredits[i]))
 			}
 			w.Len(len(r.arrivals[p]))
 			for _, a := range r.arrivals[p] {
@@ -187,9 +189,10 @@ func (n *Network) DecodeState(r *snapshot.Reader, pktRef func() *Packet) {
 		rt.buffered = 0
 		rt.injecting = 0
 		rt.ejPkt = nil
+		rt.occ = 0
 		for p := 0; p < NumPorts; p++ {
-			for vc := range rt.in[p] {
-				v := &rt.in[p][vc]
+			for vc := 0; vc < vcs; vc++ {
+				vi := rt.vci(p, vc)
 				nf := r.Len(1)
 				if r.Err() != nil {
 					return
@@ -198,37 +201,51 @@ func (n *Network) DecodeState(r *snapshot.Reader, pktRef func() *Packet) {
 					r.Fail("router %d vc buffer of %d flits exceeds depth %d", rt.id, nf, depth)
 					return
 				}
-				v.buf = v.buf[:0]
+				rt.inBuf[vi] = rt.inBuf[vi][:0]
 				for i := 0; i < nf; i++ {
 					f := decodeFlit(r, pktRef)
 					if r.Err() != nil {
 						return
 					}
-					v.buf = append(v.buf, f)
+					rt.inBuf[vi] = append(rt.inBuf[vi], f)
 					rt.buffered++
 				}
-				v.routed = r.Bool()
-				v.adaptive = r.Bool()
-				v.outPort = r.Int()
-				v.vaDone = r.Bool()
-				v.outVC = r.Int()
-				v.vaEligibleAt = r.I64()
-				v.saEligibleAt = r.I64()
-				v.pktAge = r.I64()
+				if nf > 0 {
+					rt.occ |= 1 << uint(vi)
+				}
+				var flags uint8
+				if r.Bool() {
+					flags |= vcRouted
+				}
+				if r.Bool() {
+					flags |= vcAdaptive
+				}
+				outPort := r.Int()
+				if r.Bool() {
+					flags |= vcVADone
+				}
+				outVC := r.Int()
+				rt.inFlags[vi] = flags
+				rt.inVAAt[vi] = r.I64()
+				rt.inSAAt[vi] = r.I64()
+				rt.inAge[vi] = r.I64()
 				if r.Err() != nil {
 					return
 				}
-				if v.outPort < 0 || v.outPort >= NumPorts || v.outVC < 0 || v.outVC >= vcs {
+				if outPort < 0 || outPort >= NumPorts || outVC < 0 || outVC >= vcs {
 					r.Fail("router %d vc pipeline indices out of range", rt.id)
 					return
 				}
-				if (v.routed || v.vaDone) && v.outPort != PortLocal && rt.neighbor[v.outPort] == nil {
+				rt.inOutPort[vi] = int8(outPort)
+				rt.inOutVC[vi] = int32(outVC)
+				if flags&(vcRouted|vcVADone) != 0 && outPort != PortLocal && rt.neighbor[outPort] == nil {
 					r.Fail("router %d routed toward a missing neighbor", rt.id)
 					return
 				}
 			}
-			for vc := range rt.out[p] {
-				rt.out[p][vc].owner = pktRef()
+			for vc := 0; vc < vcs; vc++ {
+				vi := rt.vci(p, vc)
+				rt.outOwner[vi] = pktRef()
 				c := r.Int()
 				if r.Err() != nil {
 					return
@@ -237,7 +254,7 @@ func (n *Network) DecodeState(r *snapshot.Reader, pktRef func() *Packet) {
 					r.Fail("router %d credit count %d outside [0,%d]", rt.id, c, depth)
 					return
 				}
-				rt.out[p][vc].credits = c
+				rt.outCredits[vi] = int32(c)
 			}
 			na := r.Len(8)
 			if r.Err() != nil {

@@ -7,6 +7,7 @@ import (
 
 	"nocmem/internal/bitset"
 	"nocmem/internal/config"
+	"nocmem/internal/timerwheel"
 )
 
 // Stats aggregates network-level counters.
@@ -49,6 +50,11 @@ type Network struct {
 	routers []*router
 	sinks   []Sink
 
+	// portOf/vcOf decompose a flat per-VC index (port*VCsPerPort+vc) back
+	// into its parts; shared by every router's occupancy-bitmap sweep so
+	// the hot loop does table lookups instead of divisions.
+	portOf, vcOf []int8
+
 	// shards partition the routers for (optionally parallel) stepping; see
 	// netShard. There is always at least one shard — New builds a single
 	// shard holding every router, SetPartition rebuilds the split.
@@ -67,14 +73,6 @@ type Network struct {
 	eventDriven bool
 }
 
-// routerWake is one scheduled router activation: router id may have
-// executable work at cycle at. Entries are never cancelled; a stale one
-// causes a harmless spurious tick at its deadline.
-type routerWake struct {
-	at int64
-	id int32
-}
-
 // netShard owns a disjoint subset of routers. Everything a router mutates
 // while ticking lives either in the router itself or here — active set,
 // stats, flit pool — so shard workers never write shared state. The only
@@ -89,52 +87,18 @@ type netShard struct {
 	stats   Stats      // counters for events executed by this shard's routers
 	edgesIn []*edgeQueue
 
-	// wakes is the min-heap of timed router wakes for this shard's members,
-	// mirroring the node/controller heaps in internal/sim. Touched only by
-	// the shard's own worker (TickShard drains, TickShard/DrainShard push),
-	// so no synchronization is needed.
-	wakes []routerWake
+	// wakes is the timing wheel of timed router wakes for this shard's
+	// members (the value is the router id), mirroring the node/controller
+	// wheels in internal/sim. Touched only by the shard's own worker
+	// (TickShard drains, TickShard/DrainShard push), so no synchronization
+	// is needed. Wakes are never cancelled; a stale one causes a harmless
+	// spurious tick at its deadline.
+	wakes   *timerwheel.Wheel[int32]
+	wakeBuf []timerwheel.Due[int32] // reused PopDue delivery buffer
 
 	// flitFree recycles flits. A flit born in one shard may die (eject) in
 	// another; pools migrate objects freely since recycled flits are zeroed.
 	flitFree []*flit
-}
-
-// pushWake schedules a router activation (min-heap on at, sift-up).
-func (sh *netShard) pushWake(at int64, id int) {
-	sh.wakes = append(sh.wakes, routerWake{at: at, id: int32(id)})
-	i := len(sh.wakes) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if sh.wakes[p].at <= sh.wakes[i].at {
-			break
-		}
-		sh.wakes[p], sh.wakes[i] = sh.wakes[i], sh.wakes[p]
-		i = p
-	}
-}
-
-// popWake removes and returns the earliest wake (sift-down).
-func (sh *netShard) popWake() routerWake {
-	w := sh.wakes[0]
-	last := len(sh.wakes) - 1
-	sh.wakes[0] = sh.wakes[last]
-	sh.wakes = sh.wakes[:last]
-	for i := 0; ; {
-		small := i
-		if l := 2*i + 1; l < len(sh.wakes) && sh.wakes[l].at < sh.wakes[small].at {
-			small = l
-		}
-		if r := 2*i + 2; r < len(sh.wakes) && sh.wakes[r].at < sh.wakes[small].at {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		sh.wakes[i], sh.wakes[small] = sh.wakes[small], sh.wakes[i]
-		i = small
-	}
-	return w
 }
 
 func (sh *netShard) getFlit() *flit {
@@ -163,17 +127,31 @@ func New(mesh config.Mesh, cfg config.NoC) (*Network, error) {
 	n := &Network{cfg: cfg, arb: newArbPolicy(cfg), w: mesh.Width, h: mesh.Height}
 	n.routers = make([]*router, mesh.Nodes())
 	n.sinks = make([]Sink, mesh.Nodes())
+	n.portOf = make([]int8, NumPorts*cfg.VCsPerPort)
+	n.vcOf = make([]int8, NumPorts*cfg.VCsPerPort)
+	for i := range n.portOf {
+		n.portOf[i] = int8(i / cfg.VCsPerPort)
+		n.vcOf[i] = int8(i % cfg.VCsPerPort)
+	}
 	for i := range n.routers {
 		r := &router{id: i, x: i % n.w, y: i / n.w, net: n, div: 1}
 		if d, ok := cfg.ClockDivisors[i]; ok {
 			r.div = int64(d)
 		}
-		for p := 0; p < NumPorts; p++ {
-			r.in[p] = make([]inVC, cfg.VCsPerPort)
-			r.out[p] = make([]outVC, cfg.VCsPerPort)
-			for vc := range r.out[p] {
-				r.out[p][vc].credits = cfg.BufferDepth
-			}
+		nv := NumPorts * cfg.VCsPerPort
+		r.vcs = cfg.VCsPerPort
+		r.occOK = nv <= 64
+		r.inBuf = make([][]*flit, nv)
+		r.inFlags = make([]uint8, nv)
+		r.inOutPort = make([]int8, nv)
+		r.inOutVC = make([]int32, nv)
+		r.inVAAt = make([]int64, nv)
+		r.inSAAt = make([]int64, nv)
+		r.inAge = make([]int64, nv)
+		r.outOwner = make([]*Packet, nv)
+		r.outCredits = make([]int32, nv)
+		for i := range r.outCredits {
+			r.outCredits[i] = int32(cfg.BufferDepth)
 		}
 		r.inj = make([]injSlot, cfg.VCsPerPort)
 		n.routers[i] = r
@@ -224,7 +202,7 @@ func (n *Network) SetPartition(shardOf []int) {
 	}
 	shards := make([]*netShard, k)
 	for i := range shards {
-		shards[i] = &netShard{id: i, active: bitset.New(len(n.routers))}
+		shards[i] = &netShard{id: i, active: bitset.New(len(n.routers)), wakes: timerwheel.New[int32]()}
 	}
 	for id, r := range n.routers {
 		s := 0
@@ -280,7 +258,7 @@ func (n *Network) applyEventMode() {
 	}
 	for _, sh := range n.shards {
 		sh.active.Clear()
-		sh.wakes = sh.wakes[:0]
+		sh.wakes.Reset()
 		if n.eventDriven {
 			for _, id := range sh.members {
 				sh.active.Add(id)
@@ -313,7 +291,7 @@ func (n *Network) wakeAt(id int, at, now int64) {
 	if at = r.wakeAlign(at); at <= now+1 {
 		r.sh.active.Add(id)
 	} else {
-		r.sh.pushWake(at, id)
+		r.sh.wakes.Push(at, int32(id))
 	}
 }
 
@@ -329,8 +307,8 @@ func (n *Network) QuietTarget(now int64) (next int64, quiet bool) {
 		if !sh.active.Empty() {
 			return 0, false
 		}
-		if len(sh.wakes) > 0 {
-			if at := sh.wakes[0].at; at <= now {
+		if at, ok := sh.wakes.Min(); ok {
+			if at <= now {
 				return 0, false
 			} else if at < next {
 				next = at
@@ -432,8 +410,9 @@ func (n *Network) Tick(now int64) {
 // their tick would change no state, exactly as in the dense sweep.
 func (n *Network) TickShard(shard int, now int64) {
 	sh := n.shards[shard]
-	for len(sh.wakes) > 0 && sh.wakes[0].at <= now {
-		sh.active.Add(int(sh.popWake().id))
+	sh.wakeBuf = sh.wakes.PopDue(now, sh.wakeBuf[:0])
+	for _, d := range sh.wakeBuf {
+		sh.active.Add(int(d.Val))
 	}
 	for wi := range sh.active {
 		w := sh.active[wi]
@@ -446,7 +425,7 @@ func (n *Network) TickShard(shard int, now int64) {
 				sh.active.Remove(id)
 			} else if at > now+1 {
 				sh.active.Remove(id)
-				sh.pushWake(at, id)
+				sh.wakes.Push(at, int32(id))
 			}
 		}
 	}
@@ -481,7 +460,7 @@ func (n *Network) DrainShard(shard int) {
 			}
 		}
 		if n.eventDriven && !sh.active.Has(q.dst) {
-			sh.pushWake(r.wakeAlign(minAt), q.dst)
+			sh.wakes.Push(r.wakeAlign(minAt), int32(q.dst))
 		}
 		q.items = q.items[:0]
 	}
@@ -587,9 +566,10 @@ func (n *Network) DebugLeaks() error {
 		if k := sh.active.Count(); k != 0 {
 			return fmt.Errorf("noc: shard %d holds %d active routers after drain", sh.id, k)
 		}
-		if len(sh.wakes) != 0 {
-			return fmt.Errorf("noc: shard %d holds %d pending router wakes after drain (earliest at cycle %d for router %d)",
-				sh.id, len(sh.wakes), sh.wakes[0].at, sh.wakes[0].id)
+		if k := sh.wakes.Len(); k != 0 {
+			at, _ := sh.wakes.Min()
+			return fmt.Errorf("noc: shard %d holds %d pending router wakes after drain (earliest at cycle %d)",
+				sh.id, k, at)
 		}
 	}
 	return nil

@@ -245,12 +245,13 @@ func TestConservationRandomTraffic(t *testing.T) {
 	// Credits must be fully restored on every output VC.
 	for _, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
-			for vc := range r.out[p] {
-				if r.out[p][vc].credits != cfg.BufferDepth {
+			for vc := 0; vc < r.vcs; vc++ {
+				i := r.vci(p, vc)
+				if r.outCredits[i] != int32(cfg.BufferDepth) {
 					t.Fatalf("router %d port %d vc %d has %d credits, want %d",
-						r.id, p, vc, r.out[p][vc].credits, cfg.BufferDepth)
+						r.id, p, vc, r.outCredits[i], cfg.BufferDepth)
 				}
-				if r.out[p][vc].owner != nil {
+				if r.outOwner[i] != nil {
 					t.Fatalf("router %d port %d vc %d still owned after quiesce", r.id, p, vc)
 				}
 			}
@@ -524,8 +525,8 @@ func TestVNetIsolation(t *testing.T) {
 		}
 		for _, r := range n.routers {
 			for port := 0; port < NumPorts; port++ {
-				for vc := range r.in[port] {
-					for _, f := range r.in[port][vc].buf {
+				for vc := 0; vc < r.vcs; vc++ {
+					for _, f := range r.inBuf[r.vci(port, vc)] {
 						lo, hi := r.vnetRange(f.pkt.VNet)
 						if vc < lo || vc >= hi {
 							t.Fatalf("cycle %d: %v packet in VC %d of router %d (class range [%d,%d))",

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"nocmem/internal/config"
 )
@@ -73,44 +74,12 @@ type creditMsg struct {
 	at   int64
 }
 
-// inVC is one input virtual channel: a flit FIFO plus the pipeline state of
-// the packet currently at its front.
-type inVC struct {
-	buf []*flit
-
-	// State of the front packet (reset when its tail departs).
-	routed       bool
-	adaptive     bool // outPort may be re-chosen until VA succeeds
-	outPort      int
-	vaDone       bool
-	outVC        int
-	vaEligibleAt int64
-	saEligibleAt int64
-
-	// pktAge is the packet's so-far delay as carried by its header when it
-	// reached the front of this VC. Arbitration for the following body and
-	// tail flits uses this snapshot — a real switch only knows the age
-	// field the header brought past it, not updates the header accrues
-	// downstream. The snapshot is also what makes sharded stepping exact:
-	// Packet.Age is written by whichever router currently holds the header,
-	// and reading it live from another router's arbitration would race
-	// across shards (and made the dense sweep's result depend on router id
-	// order).
-	pktAge int64
-}
-
-func (v *inVC) front() *flit {
-	if len(v.buf) == 0 {
-		return nil
-	}
-	return v.buf[0]
-}
-
-// outVC tracks the allocation and credit state of one downstream VC.
-type outVC struct {
-	owner   *Packet // packet holding the VC, nil when free
-	credits int
-}
+// Input-VC pipeline flags, stored per VC in router.inFlags.
+const (
+	vcRouted   = 1 << 0
+	vcAdaptive = 1 << 1 // outPort may be re-chosen until VA succeeds
+	vcVADone   = 1 << 2
+)
 
 // injSlot is one in-progress packet injection on a local input VC.
 type injSlot struct {
@@ -119,6 +88,16 @@ type injSlot struct {
 }
 
 // router is one mesh tile's 5-port VC router.
+//
+// Per-VC state is laid out struct-of-arrays, indexed port*vcs+vc (see vci):
+// the VA/SA arbitration sweeps touch one or two fields of every occupied VC
+// each cycle, and parallel dense slices keep those walks cache-linear instead
+// of striding over full per-VC structs. The input side carries the pipeline
+// state of each VC's front packet; on a tail dispatch only the flag bits are
+// cleared, so outPort/outVC and the eligibility/age fields keep their last
+// values until the next header overwrites them — checkpoint encoding
+// serializes those stale values as-is, and the encoding must stay byte-stable
+// across layout changes.
 type router struct {
 	id   int
 	x, y int
@@ -138,8 +117,37 @@ type router struct {
 	// divisible by div, stretching every pipeline stage accordingly.
 	div int64
 
-	in  [NumPorts][]inVC
-	out [NumPorts][]outVC
+	vcs int // VCs per port; slice lengths below are NumPorts*vcs
+
+	// occ has one bit per input VC, set while its FIFO is non-empty; valid
+	// only when occOK (NumPorts*vcs <= 64). The arbitration sweep iterates
+	// set bits instead of probing every buffer, so a lightly-loaded router
+	// pays O(occupied VCs) rather than O(all VCs) per cycle.
+	occ   uint64
+	occOK bool
+
+	// Input VCs: the flit FIFO and the front packet's pipeline state.
+	inBuf     [][]*flit
+	inFlags   []uint8
+	inOutPort []int8
+	inOutVC   []int32
+	inVAAt    []int64 // VA eligibility cycle
+	inSAAt    []int64 // SA eligibility cycle
+
+	// inAge is the packet's so-far delay as carried by its header when it
+	// reached the front of this VC. Arbitration for the following body and
+	// tail flits uses this snapshot — a real switch only knows the age
+	// field the header brought past it, not updates the header accrues
+	// downstream. The snapshot is also what makes sharded stepping exact:
+	// Packet.Age is written by whichever router currently holds the header,
+	// and reading it live from another router's arbitration would race
+	// across shards (and made the dense sweep's result depend on router id
+	// order).
+	inAge []int64
+
+	// Output VCs: downstream allocation and credit state.
+	outOwner   []*Packet // packet holding the VC, nil when free
+	outCredits []int32
 
 	neighbor [NumPorts]*router // per out port; nil at mesh edges and Local
 
@@ -172,6 +180,17 @@ type router struct {
 	// Per-tick scratch buffers, reused to keep the hot path allocation-free.
 	refsBuf []vcRef
 	vaBuf   [NumPorts][]vaReq
+}
+
+// vci maps (port, vc) to the flat per-VC index.
+func (r *router) vci(p, vc int) int { return p*r.vcs + vc }
+
+// front returns VC i's front flit, or nil when the buffer is empty.
+func (r *router) front(i int) *flit {
+	if b := r.inBuf[i]; len(b) > 0 {
+		return b[0]
+	}
+	return nil
 }
 
 func (r *router) pendingArrivals() int {
@@ -275,7 +294,7 @@ func (r *router) nextWake(now int64) (at int64, ok bool) {
 // by NumVNets, which would otherwise strand the trailing VCs of every port
 // (the integer division below would assign them to no virtual network).
 func (r *router) vnetRange(v VNet) (lo, hi int) {
-	per := r.net.cfg.VCsPerPort / int(NumVNets)
+	per := r.vcs / int(NumVNets)
 	lo = int(v) * per
 	return lo, lo + per
 }
@@ -327,15 +346,16 @@ func (r *router) adaptiveRoute(dst int, vn VNet) int {
 		return cands[0]
 	}
 	// Two productive choices: prefer the port with more free capacity.
-	best, bestScore := cands[0], -1
+	best, bestScore := cands[0], int32(-1)
 	lo, hi := r.vnetRange(vn)
 	for i := 0; i < n; i++ {
 		p := cands[i]
-		score := 0
+		base := p * r.vcs
+		score := int32(0)
 		for vc := lo; vc < hi; vc++ {
-			score += r.out[p][vc].credits
-			if r.out[p][vc].owner == nil {
-				score += r.net.cfg.BufferDepth // a free VC outweighs credits
+			score += r.outCredits[base+vc]
+			if r.outOwner[base+vc] == nil {
+				score += int32(r.net.cfg.BufferDepth) // a free VC outweighs credits
 			}
 		}
 		if score > bestScore {
@@ -346,25 +366,25 @@ func (r *router) adaptiveRoute(dst int, vn VNet) int {
 }
 
 // onNewFront initializes the pipeline state when a header flit reaches the
-// front of a VC.
-func (r *router) onNewFront(v *inVC, now int64) {
-	f := v.front()
-	if f == nil || !f.header() || v.routed {
+// front of VC i.
+func (r *router) onNewFront(i int, now int64) {
+	f := r.front(i)
+	if f == nil || !f.header() || r.inFlags[i]&vcRouted != 0 {
 		return
 	}
-	v.routed = true
-	v.pktAge = f.pkt.Age
-	v.adaptive = r.net.cfg.Routing == config.RoutingWestFirst
-	if v.adaptive {
-		v.outPort = r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet)
+	flags := r.inFlags[i] | vcRouted
+	r.inAge[i] = f.pkt.Age
+	if r.net.cfg.Routing == config.RoutingWestFirst {
+		flags |= vcAdaptive
+		r.inOutPort[i] = int8(r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet))
 	} else {
-		v.outPort = r.route(f.pkt.Dst)
+		r.inOutPort[i] = int8(r.route(f.pkt.Dst))
 	}
-	v.vaDone = false
+	r.inFlags[i] = flags &^ vcVADone
 	if r.fastSetup(f.pkt) {
-		v.vaEligibleAt = now
+		r.inVAAt[i] = now
 	} else {
-		v.vaEligibleAt = now + rcDelay5*r.div
+		r.inVAAt[i] = now + rcDelay5*r.div
 	}
 }
 
@@ -393,15 +413,17 @@ func (r *router) tick(now int64) {
 	r.acceptArrivals(now)
 	r.fillInjections(now)
 	refs := r.activeVCs()
-	r.allocateVCs(refs, now)
-	r.allocateSwitch(refs, now)
+	if len(refs) > 0 {
+		r.allocateVCs(refs, now)
+		r.allocateSwitch(refs, now)
+	}
 }
 
 func (r *router) processCredits(now int64) {
 	kept := r.credits[:0]
 	for _, c := range r.credits {
 		if c.at <= now {
-			r.out[c.port][c.vc].credits++
+			r.outCredits[r.vci(c.port, c.vc)]++
 		} else {
 			kept = append(kept, c)
 		}
@@ -416,16 +438,17 @@ func (r *router) acceptArrivals(now int64) {
 		for taken < len(q) && q[taken].at <= now {
 			a := q[taken]
 			taken++
-			v := &r.in[p][a.vc]
-			if len(v.buf) >= r.net.cfg.BufferDepth {
+			i := r.vci(p, a.vc)
+			if len(r.inBuf[i]) >= r.net.cfg.BufferDepth {
 				panic(fmt.Sprintf("noc: router %d port %s vc %d buffer overflow (credit protocol violated)",
 					r.id, portName(p), a.vc))
 			}
 			a.f.routerEntry = now
-			v.buf = append(v.buf, a.f)
+			r.inBuf[i] = append(r.inBuf[i], a.f)
+			r.occ |= 1 << uint(i)
 			r.buffered++
-			if len(v.buf) == 1 {
-				r.onNewFront(v, now)
+			if len(r.inBuf[i]) == 1 {
+				r.onNewFront(i, now)
 			}
 		}
 		if taken > 0 {
@@ -447,7 +470,7 @@ func (r *router) fillInjections(now int64) {
 	for vn := VNet(0); vn < NumVNets; vn++ {
 		lo, hi := r.vnetRange(vn)
 		for vc := lo; vc < hi && r.outbox[vn].len() > 0; vc++ {
-			if r.inj[vc].pkt != nil || len(r.in[PortLocal][vc].buf) >= r.net.cfg.BufferDepth {
+			if r.inj[vc].pkt != nil || len(r.inBuf[r.vci(PortLocal, vc)]) >= r.net.cfg.BufferDepth {
 				continue
 			}
 			r.inj[vc] = injSlot{pkt: r.outbox[vn].pop()}
@@ -460,8 +483,8 @@ func (r *router) fillInjections(now int64) {
 		if s.pkt == nil {
 			continue
 		}
-		v := &r.in[PortLocal][vc]
-		if len(v.buf) >= r.net.cfg.BufferDepth {
+		i := r.vci(PortLocal, vc)
+		if len(r.inBuf[i]) >= r.net.cfg.BufferDepth {
 			continue
 		}
 		f := r.sh.getFlit()
@@ -471,10 +494,11 @@ func (r *router) fillInjections(now int64) {
 			// residence time and must age the message (Equation 1).
 			s.pkt.Age += now - s.pkt.InjectedAt
 		}
-		v.buf = append(v.buf, f)
+		r.inBuf[i] = append(r.inBuf[i], f)
+		r.occ |= 1 << uint(i)
 		r.buffered++
-		if len(v.buf) == 1 {
-			r.onNewFront(v, now)
+		if len(r.inBuf[i]) == 1 {
+			r.onNewFront(i, now)
 		}
 		s.next++
 		if s.next == s.pkt.NumFlits {
@@ -489,16 +513,27 @@ type vcRef struct {
 	port, vc int
 }
 
-func (r *router) vcAt(ref vcRef) *inVC { return &r.in[ref.port][ref.vc] }
-
 // activeVCs lists the input VCs holding at least one flit, reusing the
-// router's scratch buffer.
+// router's scratch buffer. With the occupancy bitmap the walk visits only
+// set bits (ascending index — the same (port, vc) lexicographic order the
+// slice scan produced); port/vc come from the network's shared index tables
+// rather than a divide per VC. The slice-header scan remains as the
+// fallback for configurations with more than 64 VCs per router.
 func (r *router) activeVCs() []vcRef {
 	refs := r.refsBuf[:0]
-	for p := 0; p < NumPorts; p++ {
-		for vc := range r.in[p] {
-			if len(r.in[p][vc].buf) > 0 {
-				refs = append(refs, vcRef{p, vc})
+	if r.occOK {
+		for m := r.occ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			refs = append(refs, vcRef{int(r.net.portOf[i]), int(r.net.vcOf[i])})
+		}
+	} else {
+		i := 0
+		for p := 0; p < NumPorts; p++ {
+			for vc := 0; vc < r.vcs; vc++ {
+				if len(r.inBuf[i]) > 0 {
+					refs = append(refs, vcRef{p, vc})
+				}
+				i++
 			}
 		}
 	}
@@ -508,7 +543,7 @@ func (r *router) activeVCs() []vcRef {
 
 // vaReq is one VC-allocation request.
 type vaReq struct {
-	ref vcRef
+	idx int // flat input VC index
 	c   candidate
 }
 
@@ -521,17 +556,19 @@ func (r *router) allocateVCs(refs []vcRef, now int64) {
 		reqs[p] = reqs[p][:0]
 	}
 	for _, ref := range refs {
-		v := r.vcAt(ref)
-		f := v.front()
-		if !f.header() || !v.routed || v.vaDone || now < v.vaEligibleAt {
+		i := r.vci(ref.port, ref.vc)
+		f := r.inBuf[i][0]
+		flags := r.inFlags[i]
+		if !f.header() || flags&vcRouted == 0 || flags&vcVADone != 0 || now < r.inVAAt[i] {
 			continue
 		}
-		if v.adaptive {
+		if flags&vcAdaptive != 0 {
 			// Re-evaluate the adaptive choice against current credit
 			// state until VC allocation succeeds.
-			v.outPort = r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet)
+			r.inOutPort[i] = int8(r.adaptiveRoute(f.pkt.Dst, f.pkt.VNet))
 		}
-		reqs[v.outPort] = append(reqs[v.outPort], vaReq{ref, r.makeCandidate(v, f, now, ref.port*64+ref.vc)})
+		op := int(r.inOutPort[i])
+		reqs[op] = append(reqs[op], vaReq{i, r.makeCandidate(i, f, now, ref.port*64+ref.vc)})
 	}
 	for p := 0; p < NumPorts; p++ {
 		if len(reqs[p]) == 0 {
@@ -540,7 +577,7 @@ func (r *router) allocateVCs(refs []vcRef, now int64) {
 		if p == PortLocal {
 			// Ejection needs no VC allocation: the sink always accepts.
 			for _, q := range reqs[p] {
-				r.grantVA(r.vcAt(q.ref), 0, nil, now)
+				r.grantVA(q.idx, 0, -1, now)
 			}
 			continue
 		}
@@ -551,9 +588,9 @@ func (r *router) allocateVCs(refs []vcRef, now int64) {
 					best = i
 				}
 			}
-			v := r.vcAt(reqs[p][best].ref)
-			if free := r.freeOutVC(p, v.front().pkt.VNet); free >= 0 {
-				r.grantVA(v, free, &r.out[p][free], now)
+			vi := reqs[p][best].idx
+			if free := r.freeOutVC(p, r.inBuf[vi][0].pkt.VNet); free >= 0 {
+				r.grantVA(vi, free, r.vci(p, free), now)
 			}
 			// Whether granted or out of VCs in its class, this
 			// requester is finished for the cycle; a requester of the
@@ -563,16 +600,18 @@ func (r *router) allocateVCs(refs []vcRef, now int64) {
 	}
 }
 
-func (r *router) grantVA(v *inVC, outVCIdx int, slot *outVC, now int64) {
-	v.vaDone = true
-	v.outVC = outVCIdx
-	if slot != nil {
-		slot.owner = v.front().pkt
+// grantVA records a successful VC allocation for input VC i. slot is the flat
+// output VC index taking ownership, or -1 for ejection (no allocation).
+func (r *router) grantVA(i, outVCIdx, slot int, now int64) {
+	r.inFlags[i] |= vcVADone
+	r.inOutVC[i] = int32(outVCIdx)
+	if slot >= 0 {
+		r.outOwner[slot] = r.inBuf[i][0].pkt
 	}
-	if r.fastSetup(v.front().pkt) {
-		v.saEligibleAt = now // combined setup: SA may happen this cycle
+	if r.fastSetup(r.inBuf[i][0].pkt) {
+		r.inSAAt[i] = now // combined setup: SA may happen this cycle
 	} else {
-		v.saEligibleAt = now + r.div
+		r.inSAAt[i] = now + r.div
 	}
 }
 
@@ -580,8 +619,9 @@ func (r *router) grantVA(v *inVC, outVCIdx int, slot *outVC, now int64) {
 // or -1.
 func (r *router) freeOutVC(p int, vn VNet) int {
 	lo, hi := r.vnetRange(vn)
+	base := p * r.vcs
 	for vc := lo; vc < hi; vc++ {
-		if r.out[p][vc].owner == nil {
+		if r.outOwner[base+vc] == nil {
 			return vc
 		}
 	}
@@ -598,12 +638,12 @@ func (r *router) allocateSwitch(refs []vcRef, now int64) {
 	}
 	var phase1 [NumPorts]winner
 	for _, ref := range refs {
-		v := r.vcAt(ref)
-		f := v.front()
-		if !r.saReady(v, f, now) {
+		i := r.vci(ref.port, ref.vc)
+		f := r.inBuf[i][0]
+		if !r.saReady(i, f, now) {
 			continue
 		}
-		c := r.makeCandidate(v, f, now, ref.port*64+ref.vc)
+		c := r.makeCandidate(i, f, now, ref.port*64+ref.vc)
 		if w := &phase1[ref.port]; !w.ok || c.beats(w.c, r.net.arb) {
 			*w = winner{ref, c, true}
 		}
@@ -615,7 +655,7 @@ func (r *router) allocateSwitch(refs []vcRef, now int64) {
 		if !w.ok {
 			continue
 		}
-		op := r.vcAt(w.ref).outPort
+		op := int(r.inOutPort[r.vci(w.ref.port, w.ref.vc)])
 		if cur := &phase2[op]; !cur.ok || w.c.beats(cur.c, r.net.arb) {
 			*cur = w
 		}
@@ -627,16 +667,17 @@ func (r *router) allocateSwitch(refs []vcRef, now int64) {
 	}
 }
 
-// saReady reports whether the front flit of v may compete for the switch.
-func (r *router) saReady(v *inVC, f *flit, now int64) bool {
+// saReady reports whether the front flit of VC i may compete for the switch.
+func (r *router) saReady(i int, f *flit, now int64) bool {
+	flags := r.inFlags[i]
+	if flags&vcVADone == 0 {
+		return false
+	}
 	if f.header() {
-		if !v.vaDone || now < v.saEligibleAt {
+		if now < r.inSAAt[i] {
 			return false
 		}
 	} else {
-		if !v.vaDone {
-			return false
-		}
 		delay := int64(bodyDelay) * r.div
 		if r.net.cfg.Pipeline == config.Pipeline2 {
 			delay = 0
@@ -645,24 +686,29 @@ func (r *router) saReady(v *inVC, f *flit, now int64) bool {
 			return false
 		}
 	}
-	if v.outPort == PortLocal {
+	if int(r.inOutPort[i]) == PortLocal {
 		// Ejection always has room, but mid-reassembly the port belongs to
 		// the packet being ejected.
 		return r.ejPkt == nil || r.ejPkt == f.pkt
 	}
-	return r.out[v.outPort][v.outVC].credits > 0
+	return r.outCredits[r.vci(int(r.inOutPort[i]), int(r.inOutVC[i]))] > 0
 }
 
 // dispatch moves the front flit of the given VC across the switch.
 func (r *router) dispatch(ref vcRef, now int64) {
-	v := r.vcAt(ref)
-	f := v.buf[0]
+	i := r.vci(ref.port, ref.vc)
+	buf := r.inBuf[i]
+	f := buf[0]
 	// Shift down instead of reslicing: the buffer is at most BufferDepth
 	// deep, and keeping its capacity makes the arrival append above
 	// allocation-free in steady state.
-	v.buf = v.buf[:copy(v.buf, v.buf[1:])]
+	r.inBuf[i] = buf[:copy(buf, buf[1:])]
+	if len(r.inBuf[i]) == 0 {
+		r.occ &^= 1 << uint(i)
+	}
 	r.buffered--
 	pkt := f.pkt
+	outPort := int(r.inOutPort[i])
 
 	if f.header() {
 		// Equation 1: add the local residence time (through ST) to the
@@ -672,8 +718,8 @@ func (r *router) dispatch(ref vcRef, now int64) {
 		pkt.Hops++
 	}
 
-	r.flitsOut[v.outPort]++
-	ejected := v.outPort == PortLocal
+	r.flitsOut[outPort]++
+	ejected := outPort == PortLocal
 	if ejected {
 		if f.tail {
 			r.ejPkt = nil
@@ -682,23 +728,24 @@ func (r *router) dispatch(ref vcRef, now int64) {
 		}
 		r.eject(f, now)
 	} else {
-		slot := &r.out[v.outPort][v.outVC]
-		slot.credits--
+		outVC := int(r.inOutVC[i])
+		slot := r.vci(outPort, outVC)
+		r.outCredits[slot]--
 		// A cross-shard neighbor's state belongs to another worker: hand
 		// the flit through the boundary queue instead of appending directly.
 		// Same-shard appends keep the direct path — each arrivals[port]
 		// queue has a single statically-known producer either way, so FIFO
 		// order is preserved.
-		if q := r.xq[v.outPort]; q != nil {
-			q.push(boundaryItem{f: f, port: opposite(v.outPort), vc: v.outVC, at: now + r.div + 1})
+		if q := r.xq[outPort]; q != nil {
+			q.push(boundaryItem{f: f, port: opposite(outPort), vc: outVC, at: now + r.div + 1})
 		} else {
-			nb := r.neighbor[v.outPort]
-			nb.arrivals[opposite(v.outPort)] = append(nb.arrivals[opposite(v.outPort)],
-				arrival{f: f, vc: v.outVC, at: now + r.div + 1})
+			nb := r.neighbor[outPort]
+			nb.arrivals[opposite(outPort)] = append(nb.arrivals[opposite(outPort)],
+				arrival{f: f, vc: outVC, at: now + r.div + 1})
 			r.net.wakeAt(nb.id, now+r.div+1, now)
 		}
 		if f.tail {
-			slot.owner = nil
+			r.outOwner[slot] = nil
 		}
 		r.sh.stats.FlitHops++
 	}
@@ -717,16 +764,17 @@ func (r *router) dispatch(ref vcRef, now int64) {
 	}
 
 	if f.tail {
-		v.routed = false
-		v.vaDone = false
-		v.adaptive = false
+		// Clear only the flag bits: the routed port/VC and timing fields
+		// keep their stale values (and are checkpointed as such) until the
+		// next header overwrites them.
+		r.inFlags[i] &^= vcRouted | vcVADone | vcAdaptive
 	}
 	if ejected {
 		// The flit's life ends at the local sink; recycle it.
 		r.sh.putFlit(f)
 	}
-	if len(v.buf) > 0 {
-		r.onNewFront(v, now)
+	if len(r.inBuf[i]) > 0 {
+		r.onNewFront(i, now)
 	}
 }
 

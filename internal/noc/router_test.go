@@ -31,8 +31,8 @@ func TestCreditBackpressure(t *testing.T) {
 		n.Tick(now)
 		r := n.routers[1]
 		tot := 0
-		for vc := range r.in[PortWest] {
-			tot += len(r.in[PortWest][vc].buf)
+		for vc := 0; vc < r.vcs; vc++ {
+			tot += len(r.inBuf[r.vci(PortWest, vc)])
 		}
 		if tot > maxBuffered {
 			maxBuffered = tot

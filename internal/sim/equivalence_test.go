@@ -8,13 +8,15 @@ import (
 
 	"nocmem/internal/config"
 	"nocmem/internal/trace"
+	"nocmem/internal/workload"
 )
 
 // runOnce builds a simulator over the given workload, forces the chosen
 // stepper and shard count, runs the configured window and returns the
-// serialized summary plus the raw result for field-level comparison.
-// shards <= 1 selects the sequential stepper.
-func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool, shards int) ([]byte, *Result) {
+// serialized summary plus the raw result for field-level comparison and the
+// simulator itself for scheduler-counter assertions. shards <= 1 selects the
+// sequential stepper.
+func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool, shards int) ([]byte, *Result, *Simulator) {
 	t.Helper()
 	cfg.Run.Shards = shards
 	s, err := New(cfg, apps)
@@ -27,7 +29,7 @@ func runOnce(t *testing.T, cfg config.Config, apps []trace.Profile, dense bool, 
 	if err := r.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	return buf.Bytes(), r
+	return buf.Bytes(), r, s
 }
 
 // expectSame fails the test unless the run labelled name matches the dense
@@ -86,28 +88,63 @@ func TestEventDenseEquivalence(t *testing.T) {
 	schemes := smallConfig().WithSchemes(true, true)
 	schemes.S1.UpdatePeriod = 2_000
 
+	// The bench harness's mixed_w1_half_16 shape: the 16-core halved variant
+	// of workload 1 occupying every tile of the 16-tile mesh — the moderate-
+	// occupancy mix where the event stepper historically regressed.
+	w1, err := workload.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := w1.Halve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := half.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	cases := []struct {
 		name string
 		cfg  config.Config
 		apps []trace.Profile
+		// wantTicked, when nonzero, pins the event stepper's executed-cycle
+		// count (every shard count must match). On an always-busy workload
+		// every cycle must execute; a timed wake silently skipped by wake
+		// coalescing would let the quiescence fast-forward jump over due
+		// work, and this counter is the direct witness — it under-counts
+		// even when the summary happens to agree.
+		wantTicked int64
 	}{
-		{"all_idle", base, make([]trace.Profile, base.Mesh.Nodes())},
-		{"alone_mcf", base, fillApps(base, "mcf", 1)},
-		{"milc_8", base, fillApps(base, "milc", 8)},
-		{"saturated_mcf_16", base, fillApps(base, "mcf", 16)},
-		{"schemes_mcf_12", schemes, fillApps(schemes, "mcf", 12)},
-		{"hetero_clocks_milc_8", hetero, fillApps(hetero, "milc", 8)},
+		{"all_idle", base, make([]trace.Profile, base.Mesh.Nodes()), 0},
+		{"alone_mcf", base, fillApps(base, "mcf", 1), 0},
+		{"milc_8", base, fillApps(base, "milc", 8), 0},
+		{"saturated_mcf_16", base, fillApps(base, "mcf", 16), 0},
+		{"schemes_mcf_12", schemes, fillApps(schemes, "mcf", 12), 0},
+		{"hetero_clocks_milc_8", hetero, fillApps(hetero, "milc", 8), 0},
+		{"mixed_w1_half_16", base, mixed, base.Run.WarmupCycles + base.Run.MeasureCycles},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			denseJSON, denseRes := runOnce(t, tc.cfg, tc.apps, true, 1)
-			eventJSON, eventRes := runOnce(t, tc.cfg, tc.apps, false, 1)
+			denseJSON, denseRes, _ := runOnce(t, tc.cfg, tc.apps, true, 1)
+			eventJSON, eventRes, eventSim := runOnce(t, tc.cfg, tc.apps, false, 1)
 			expectSame(t, "event", denseJSON, denseRes, eventJSON, eventRes)
+			if tc.wantTicked != 0 {
+				if got := eventSim.DebugTickedCycles(); got != tc.wantTicked {
+					t.Errorf("event stepper executed %d cycles, want %d", got, tc.wantTicked)
+				}
+			}
 			for _, shards := range []int{2, 4} {
-				gotJSON, gotRes := runOnce(t, tc.cfg, tc.apps, false, shards)
-				expectSame(t, fmt.Sprintf("sharded_%d", shards), denseJSON, denseRes, gotJSON, gotRes)
+				name := fmt.Sprintf("sharded_%d", shards)
+				gotJSON, gotRes, gotSim := runOnce(t, tc.cfg, tc.apps, false, shards)
+				expectSame(t, name, denseJSON, denseRes, gotJSON, gotRes)
+				if tc.wantTicked != 0 {
+					if got := gotSim.DebugTickedCycles(); got != tc.wantTicked {
+						t.Errorf("%s executed %d cycles, want %d", name, got, tc.wantTicked)
+					}
+				}
 			}
 		})
 	}
@@ -134,10 +171,10 @@ func TestLargeMeshRegression(t *testing.T) {
 	for _, tile := range []int{0, 20, 63, 64, 100, 200, 255} {
 		apps[tile] = p
 	}
-	denseJSON, denseRes := runOnce(t, cfg, apps, true, 1)
-	eventJSON, eventRes := runOnce(t, cfg, apps, false, 1)
+	denseJSON, denseRes, _ := runOnce(t, cfg, apps, true, 1)
+	eventJSON, eventRes, _ := runOnce(t, cfg, apps, false, 1)
 	expectSame(t, "event", denseJSON, denseRes, eventJSON, eventRes)
-	shardJSON, shardRes := runOnce(t, cfg, apps, false, 4)
+	shardJSON, shardRes, _ := runOnce(t, cfg, apps, false, 4)
 	expectSame(t, "sharded_4", denseJSON, denseRes, shardJSON, shardRes)
 	for _, tile := range []int{64, 100, 200, 255} {
 		if eventRes.CoreStats[tile].Retired == 0 {

@@ -163,7 +163,7 @@ func (n *node) backInvalidate(line uint64, now int64) {
 func (n *node) deliver(p *noc.Packet, at int64) {
 	n.inbox = append(n.inbox, inItem{pkt: p, at: at})
 	if !n.s.dense && !n.sh.nodeActive.Has(n.id) {
-		n.sh.pushWake(at, wakeNode, n.id)
+		n.sh.nodeWakes.Push(at, int32(n.id))
 	}
 }
 

@@ -39,23 +39,6 @@ import (
 // mesh is partitioned and one worker goroutine steps each shard, with the
 // single-shard sequential loop below as the reference semantics.
 
-// wakeKind identifies the component class of a timed wake.
-type wakeKind uint8
-
-const (
-	wakeNode wakeKind = iota
-	wakeMC
-)
-
-// wake is one scheduled activation: component idx of the given kind has a
-// deadline at cycle at. Entries are never cancelled; stale ones cause a
-// harmless spurious tick.
-type wake struct {
-	at   int64
-	kind wakeKind
-	idx  int32
-}
-
 // activateAll marks every component active and re-arms the policy timer;
 // called at construction and when switching from dense to event-driven
 // stepping, after which the sets shrink back to the truly busy components.
@@ -63,6 +46,11 @@ func (s *Simulator) activateAll() {
 	for _, sh := range s.shards {
 		sh.nodeActive.Clear()
 		sh.mcActive.Clear()
+		// Pending wakes are redundant while everything is active — each
+		// sleeper re-derives its exact deadline through trySleep — so the
+		// wheels restart empty rather than carrying stale entries.
+		sh.nodeWakes.Reset()
+		sh.mcWakes.Reset()
 		for _, n := range sh.nodes {
 			sh.nodeActive.Add(n.id)
 		}
@@ -132,25 +120,71 @@ func (s *Simulator) quietTarget(now, end int64) (int64, bool) {
 	if routerNext < next {
 		next = routerNext
 	}
+	mcNext := int64(math.MaxInt64)
 	for _, sh := range s.shards {
 		if !sh.nodeActive.Empty() || !sh.mcActive.Empty() {
 			return 0, false
 		}
-		if len(sh.wakes) > 0 {
-			if at := sh.wakes[0].at; at <= now {
+		if at, ok := sh.nodeWakes.Min(); ok {
+			if at <= now {
 				return 0, false
 			} else if at < next {
 				next = at
+			}
+		}
+		if at, ok := sh.mcWakes.Min(); ok {
+			if at <= now {
+				return 0, false
+			} else if at < mcNext {
+				mcNext = at
 			}
 		}
 	}
 	if s.polNext < next {
 		next = s.polNext
 	}
+	if mcNext < next {
+		// The only deadlines before next are memory-controller-internal. A
+		// controller's exact wake is at most one sample period out
+		// (dram.Controller samples idleness every 100 cycles), so a long
+		// write-drain or idle tail would otherwise cap every jump at ~100
+		// cycles. When every controller's remaining work is externally
+		// inert — draining writes or pure idleness — replay their timelines
+		// up to next right here instead of executing cycles for them.
+		if !s.tryDrainFastForward(now, next) {
+			next = mcNext
+		}
+	}
 	if next <= now { // cannot happen (all deadlines are future); guard anyway
 		next = now + 1
 	}
 	return next, true
+}
+
+// tryDrainFastForward advances every memory controller through its internal
+// events in (now, next) — write-drain issues/completions, refreshes, idleness
+// samples — without executing simulator cycles, re-arming each controller's
+// timed wake at its first deadline >= next. Only legal when the rest of the
+// system is quiescent until next (nothing can enqueue mid-window) and every
+// controller is FastForwardable (no read anywhere: write completions recycle
+// the request without any external effect, so the replay is invisible outside
+// the controller). Runs in the serial section under sharded stepping, so
+// touching foreign shards' wheels is safe. Reports false, changing nothing,
+// when some controller holds a read.
+func (s *Simulator) tryDrainFastForward(now, next int64) bool {
+	for _, mc := range s.mcs {
+		if !mc.ctl.FastForwardable() {
+			return false
+		}
+	}
+	for _, sh := range s.shards {
+		sh.mcWakes.Reset()
+	}
+	for _, mc := range s.mcs {
+		at := mc.ctl.FastForward(now, next)
+		mc.sh.mcWakes.Push(at, int32(mc.idx))
+	}
+	return true
 }
 
 // stepEvent is the event-driven scheduler. Within an executed cycle the
@@ -245,7 +279,7 @@ func (n *node) trySleep(now int64) {
 	}
 	n.sh.nodeActive.Remove(n.id)
 	if wakeAt != math.MaxInt64 {
-		n.sh.pushWake(wakeAt, wakeNode, n.id)
+		n.sh.nodeWakes.Push(wakeAt, int32(n.id))
 	}
 }
 
@@ -258,13 +292,26 @@ func (m *mcNode) trySleep(now int64) {
 		return
 	}
 	m.sh.mcActive.Remove(m.idx)
-	m.sh.pushWake(wakeAt, wakeMC, m.idx)
+	m.sh.mcWakes.Push(wakeAt, int32(m.idx))
 }
 
 // DebugTickedCycles returns the number of cycles the event-driven scheduler
 // actually executed (as opposed to fast-forwarded over); used by tests to
 // prove quiescent stretches are skipped.
 func (s *Simulator) DebugTickedCycles() int64 { return s.ticked }
+
+// DebugDRAMTicks sums the controllers' Tick invocations: total, and the
+// subset absorbed by the write-drain fast-forward (executed without a
+// surrounding simulator cycle). Tests and benchmarks use the split to prove
+// drain tails are replayed instead of stepped.
+func (s *Simulator) DebugDRAMTicks() (total, fastForwarded int64) {
+	for _, mc := range s.mcs {
+		t, ff := mc.ctl.DebugTicks()
+		total += t
+		fastForwarded += ff
+	}
+	return total, fastForwarded
+}
 
 // QuiesceCheck verifies that no work is pending anywhere outside the cores:
 // the network holds no packet, every tile's inbox, L2 pipeline and delayed

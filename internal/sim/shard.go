@@ -9,6 +9,7 @@ import (
 
 	"nocmem/internal/bitset"
 	"nocmem/internal/noc"
+	"nocmem/internal/timerwheel"
 )
 
 // Sharded stepping splits the mesh into rectangular tile groups, each ticked
@@ -41,10 +42,16 @@ type simShard struct {
 
 	// Event-driven scheduler state, shard-local (see sched.go): active sets
 	// index by global node id / controller idx, but only owned members'
-	// bits are ever set.
+	// bits are ever set. Timed wakes live in two timing wheels keyed by the
+	// component index — separate wheels so quietTarget can read the
+	// controller horizon alone when deciding a DRAM write-drain
+	// fast-forward. Wakes are never cancelled; stale ones cause a harmless
+	// spurious tick.
 	nodeActive bitset.Set
 	mcActive   bitset.Set
-	wakes      []wake
+	nodeWakes  *timerwheel.Wheel[int32]
+	mcWakes    *timerwheel.Wheel[int32]
+	wakeBuf    []timerwheel.Due[int32] // reused PopDue delivery buffer
 
 	// col accumulates measurements for events executed by this shard; a
 	// tile-indexed entry may be written by a foreign shard's collector copy
@@ -59,53 +66,15 @@ type simShard struct {
 	msgFree []*message
 }
 
-// pushWake schedules a component activation (min-heap on at, sift-up).
-func (sh *simShard) pushWake(at int64, kind wakeKind, idx int) {
-	sh.wakes = append(sh.wakes, wake{at: at, kind: kind, idx: int32(idx)})
-	i := len(sh.wakes) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if sh.wakes[p].at <= sh.wakes[i].at {
-			break
-		}
-		sh.wakes[p], sh.wakes[i] = sh.wakes[i], sh.wakes[p]
-		i = p
-	}
-}
-
-// popWake removes and returns the earliest wake (sift-down).
-func (sh *simShard) popWake() wake {
-	w := sh.wakes[0]
-	last := len(sh.wakes) - 1
-	sh.wakes[0] = sh.wakes[last]
-	sh.wakes = sh.wakes[:last]
-	for i := 0; ; {
-		small := i
-		if l := 2*i + 1; l < len(sh.wakes) && sh.wakes[l].at < sh.wakes[small].at {
-			small = l
-		}
-		if r := 2*i + 2; r < len(sh.wakes) && sh.wakes[r].at < sh.wakes[small].at {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		sh.wakes[i], sh.wakes[small] = sh.wakes[small], sh.wakes[i]
-		i = small
-	}
-	return w
-}
-
 // drainWakes activates components whose timed wakes are due.
 func (sh *simShard) drainWakes(now int64) {
-	for len(sh.wakes) > 0 && sh.wakes[0].at <= now {
-		w := sh.popWake()
-		switch w.kind {
-		case wakeNode:
-			sh.nodeActive.Add(int(w.idx))
-		case wakeMC:
-			sh.mcActive.Add(int(w.idx))
-		}
+	sh.wakeBuf = sh.nodeWakes.PopDue(now, sh.wakeBuf[:0])
+	for _, d := range sh.wakeBuf {
+		sh.nodeActive.Add(int(d.Val))
+	}
+	sh.wakeBuf = sh.mcWakes.PopDue(now, sh.wakeBuf[:0])
+	for _, d := range sh.wakeBuf {
+		sh.mcActive.Add(int(d.Val))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"nocmem/internal/dram"
 	"nocmem/internal/noc"
 	"nocmem/internal/stats"
+	"nocmem/internal/timerwheel"
 	"nocmem/internal/trace"
 )
 
@@ -170,6 +171,8 @@ func (s *Simulator) buildShards() {
 			s:          s,
 			nodeActive: bitset.New(nodes),
 			mcActive:   bitset.New(len(s.mcs)),
+			nodeWakes:  timerwheel.New[int32](),
+			mcWakes:    timerwheel.New[int32](),
 			col:        newCollector(nodes),
 		}
 	}
