@@ -1,13 +1,16 @@
 # Developer entry points. `make ci` is the gate run before every commit:
 # vet, build, the checkpoint fork-equivalence oracle under the race detector
-# (fast fail), the full test suite under the race detector, and a smoke run
-# of the perf harness (micro-benchmarks plus the sharded-vs-sequential
-# and bursty dense/event/sharded byte-equality gates, regression-gated;
-# the full harness writing BENCH_5.json is `make bench`).
+# (fast fail), the full test suite under the race detector (which includes
+# the skewed-hotspot and barrier stress oracles), the shard-scaling smoke
+# gate (a 2-worker stealing run must reproduce the sequential stepper byte
+# for byte on the skewed corner-hotspot workload), and a smoke run of the
+# perf harness (micro-benchmarks plus the sharded-vs-sequential and bursty
+# dense/event/sharded byte-equality gates, regression-gated; the full
+# harness writing BENCH_7.json is `make bench`).
 
 GO ?= go
 
-.PHONY: all build vet test race fork-race bench bench-smoke profile ci
+.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke profile ci
 
 all: build
 
@@ -21,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # The checkpoint correctness oracles on their own, under the race detector:
 # warmup-then-fork must reproduce the straight-through run byte for byte
@@ -47,6 +50,12 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -skip-sweep -out - -check BENCH_1.json
 
+# The shard-scaling determinism gate on its own: sharded runs of the skewed
+# corner-hotspot workload (2 workers stealing, 4 workers no-steal) must
+# reproduce the sequential event stepper byte for byte.
+shard-scaling-smoke:
+	$(GO) run ./cmd/bench -scaling-smoke
+
 # Profile the harness itself: a quick pass with CPU and heap profiles written
 # next to the repo, ready for `go tool pprof cpu.pprof`. See ARCHITECTURE.md
 # ("Profiling workflow") for how to read the output.
@@ -55,4 +64,4 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
-ci: vet build fork-race race bench-smoke
+ci: vet build fork-race race shard-scaling-smoke bench-smoke

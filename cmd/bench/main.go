@@ -11,7 +11,11 @@
 //     byte-equality check),
 //   - the sharded parallel stepper at 1, 2 and 4 workers on the saturated
 //     workload (after gating that the sharded run reproduces the sequential
-//     one byte for byte), and
+//     one byte for byte),
+//   - the shard_scaling campaign: 1/2/4/8 workers x balanced/skewed/bursty
+//     workloads x 8x8 and 16x16 meshes, each point gated byte-identical to
+//     the sequential stepper first, with runtime.NumCPU recorded so speedup
+//     ratios are only marked valid when the host actually has the cores, and
 //   - the warmup-amortization speedup of checkpoint forking (eight policy
 //     configurations forked from one warmed snapshot vs eight cold runs),
 //   - the wall time of a Figure-11 style sweep (three workloads, three
@@ -22,11 +26,13 @@
 //
 // Usage:
 //
-//	bench                     # full harness -> BENCH_6.json
+//	bench                     # full harness -> BENCH_7.json
 //	bench -out -              # JSON to stdout
 //	bench -quick              # smaller op counts (CI smoke)
 //	bench -skip-sweep         # micro + stepper benchmarks only
-//	bench -shards 1,2,4       # shard counts for the sharded-stepper sweep
+//	bench -shards 1,2,4       # worker counts for the sharded-stepper sweep
+//	bench -steal=off          # disable intra-cycle work stealing (bisection)
+//	bench -scaling-smoke      # shard-scaling byte-equality gate only (CI)
 //	bench -check BENCH_1.json # fail on regression vs a stored report
 //	bench -cpuprofile cpu.out # write a CPU profile of the whole run
 //	bench -memprofile mem.out # write a heap profile at exit
@@ -76,12 +82,13 @@ type stepperResult struct {
 }
 
 // shardResult is one point of the sharded-stepper sweep: ns per simulated
-// cycle of the saturated 32-tile workload with the mesh partitioned into
-// Shards quadrants ticked by Workers goroutines. Speedup is relative to the
-// sequential (1-shard) run of the same sweep. Valid records whether the
-// ratio measures parallelism at all: on a single-CPU host the workers are
-// time-sliced onto one core and the ratio only shows barrier overhead, so
-// it must not be read as a parallelization regression (or win).
+// cycle of the saturated 32-tile workload stepped by Workers goroutines over
+// cost-balanced chunks. Speedup is relative to the sequential (1-worker) run
+// of the same sweep. Valid records whether the ratio measures parallelism at
+// all: when the host has fewer cores than workers (Cores records
+// runtime.NumCPU) the workers are time-sliced and the ratio only shows
+// barrier overhead, so it must not be read as a parallelization regression
+// (or win).
 type shardResult struct {
 	Name    string  `json:"name"`
 	Shards  int     `json:"shards"`
@@ -89,6 +96,26 @@ type shardResult struct {
 	NsPerOp float64 `json:"ns_per_cycle"`
 	Ops     int     `json:"ops"`
 	Speedup float64 `json:"speedup"`
+	Cores   int     `json:"cores"`
+	Valid   bool    `json:"valid"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// scalingResult is one point of the shard_scaling campaign: ns per simulated
+// cycle of one workload shape on one mesh size at one worker count. Speedup
+// is relative to the campaign's sequential run of the same (workload, mesh)
+// pair; Valid is per-host honesty — true only when the host has at least as
+// many cores (runtime.NumCPU, recorded in Cores) as workers, so a flagged
+// ratio is never mistaken for a measured one.
+type scalingResult struct {
+	Name    string  `json:"name"`
+	Mesh    string  `json:"mesh"`
+	Workers int     `json:"workers"`
+	Steal   bool    `json:"steal"`
+	NsPerOp float64 `json:"ns_per_cycle"`
+	Ops     int     `json:"ops"`
+	Speedup float64 `json:"speedup,omitempty"`
+	Cores   int     `json:"cores"`
 	Valid   bool    `json:"valid"`
 	Note    string  `json:"note,omitempty"`
 }
@@ -140,8 +167,11 @@ type report struct {
 	Stepper    []stepperResult `json:"stepper,omitempty"`
 	Drain      []drainResult   `json:"dram_drain,omitempty"`
 	Shards     []shardResult   `json:"shards,omitempty"`
-	Fork       *forkResult     `json:"fork_amortization,omitempty"`
-	Sweep      []sweepResult   `json:"sweep,omitempty"`
+	// ShardScaling is the multi-core measurement campaign: worker counts
+	// 1/2/4/8 x balanced/skewed/bursty workloads x 8x8 and 16x16 meshes.
+	ShardScaling []scalingResult `json:"shard_scaling,omitempty"`
+	Fork         *forkResult     `json:"fork_amortization,omitempty"`
+	Sweep        []sweepResult   `json:"sweep,omitempty"`
 	// SweepSpeedup is sequential seconds / parallel seconds. It only
 	// measures parallelism when the worker pool actually has more than one
 	// worker; SweepSpeedupValid records whether it does, so a ~1.0 ratio on
@@ -164,16 +194,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out        = flag.String("out", "BENCH_6.json", "output file ('-' = stdout)")
-		quick      = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
-		skipSweep  = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
-		shards     = flag.String("shards", "1,2,4", "comma-separated shard counts for the sharded-stepper sweep ('' = skip)")
-		check      = flag.String("check", "", "stored report to gate against (fail on alloc or >20% ns/op regression)")
-		minSpeedup = flag.Float64("min-stepper-speedup", 0.95, "fail when any stepper scenario's event-vs-dense speedup drops below this (0 = off)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		out          = flag.String("out", "BENCH_7.json", "output file ('-' = stdout)")
+		quick        = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
+		skipSweep    = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
+		shards       = flag.String("shards", "1,2,4", "comma-separated worker counts for the sharded-stepper sweep ('' = skip)")
+		steal        = flag.String("steal", "on", "intra-cycle work stealing in sharded runs: on|off (bisection escape hatch)")
+		scalingSmoke = flag.Bool("scaling-smoke", false, "run only the shard-scaling byte-equality gate, then exit (CI)")
+		check        = flag.String("check", "", "stored report to gate against (fail on alloc or >20% ns/op regression)")
+		minSpeedup   = flag.Float64("min-stepper-speedup", 0.95, "fail when any stepper scenario's event-vs-dense speedup drops below this (0 = off)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	var noSteal bool
+	switch *steal {
+	case "on":
+	case "off":
+		noSteal = true
+	default:
+		log.Fatalf("bad -steal value %q (want on or off)", *steal)
+	}
+	if *scalingSmoke {
+		scalingEqualityGate(true)
+		log.Printf("shard-scaling smoke gate passed")
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -276,8 +321,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		shardEqualityGate(counts, *quick)
-		rep.Shards = shardBenches(counts, *quick)
+		shardEqualityGate(counts, *quick, noSteal)
+		rep.Shards = shardBenches(counts, *quick, noSteal)
+	}
+
+	// The shard_scaling campaign (1/2/4/8 workers x three workload shapes x
+	// two mesh sizes) is a measurement pass, not a smoke gate — the CI gate
+	// is `bench -scaling-smoke` (make shard-scaling-smoke).
+	if !*skipSweep {
+		scalingEqualityGate(*quick)
+		rep.ShardScaling = scalingBenches(*quick, noSteal)
 	}
 
 	rep.Fork = forkAmortization(*quick)
@@ -661,7 +714,7 @@ func saturatedWorkload() (config.Config, []trace.Profile) {
 // sequential result byte for byte. This is the harness-level determinism
 // gate (make bench-smoke runs it on every CI pass); the full three-way
 // oracle lives in internal/sim's TestEventDenseEquivalence.
-func shardEqualityGate(counts []int, quick bool) {
+func shardEqualityGate(counts []int, quick, noSteal bool) {
 	cfg, apps := saturatedWorkload()
 	cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 5_000, 15_000
 	if quick {
@@ -670,6 +723,7 @@ func shardEqualityGate(counts []int, quick bool) {
 	runJSON := func(k int) []byte {
 		c := cfg
 		c.Run.Shards = k
+		c.Run.NoSteal = noSteal
 		s, err := sim.New(c, apps)
 		if err != nil {
 			log.Fatal(err)
@@ -693,21 +747,21 @@ func shardEqualityGate(counts []int, quick bool) {
 }
 
 // shardBenches measures ns per simulated cycle of the saturated workload
-// under the event stepper with the mesh split into each shard count.
-func shardBenches(counts []int, quick bool) []shardResult {
+// under the event stepper at each worker count. Validity is per-host: a
+// ratio is real only when the host has at least as many cores as workers.
+func shardBenches(counts []int, quick, noSteal bool) []shardResult {
 	cfg, apps := saturatedWorkload()
 	warm := int64(20_000)
 	if quick {
 		warm = 5_000
 	}
-	procs := runtime.GOMAXPROCS(0)
+	cores := runtime.NumCPU()
 	var out []shardResult
 	for _, k := range counts {
 		c := cfg
 		c.Run.Shards = k
-		sx, sy := c.Mesh.ShardGrid(k)
-		workers := sx * sy
-		log.Printf("running sharded stepper saturated_w7_32 (%d shards, %d workers)...", k, workers)
+		c.Run.NoSteal = noSteal
+		log.Printf("running sharded stepper saturated_w7_32 (%d workers)...", k)
 		r := testing.Benchmark(func(b *testing.B) {
 			s, err := sim.New(c, apps)
 			if err != nil {
@@ -718,27 +772,248 @@ func shardBenches(counts []int, quick bool) []shardResult {
 			s.Step(int64(b.N))
 		})
 		if r.N == 0 {
-			log.Fatalf("sharded stepper (%d shards) produced no iterations", k)
+			log.Fatalf("sharded stepper (%d workers) produced no iterations", k)
 		}
 		res := shardResult{
 			Name:    "saturated_w7_32",
 			Shards:  k,
-			Workers: workers,
+			Workers: k,
 			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
 			Ops:     r.N,
+			Cores:   cores,
 		}
-		if len(out) > 0 && out[0].Shards == 1 {
+		if len(out) > 0 && out[0].Workers == 1 {
 			res.Speedup = out[0].NsPerOp / res.NsPerOp
 		}
 		switch {
-		case workers == 1:
-			res.Note = "single shard: sequential reference point"
-		case procs > 1:
+		case k == 1:
+			res.Note = "single worker: sequential reference point"
+		case cores >= k:
 			res.Valid = true
 		default:
-			res.Note = fmt.Sprintf("GOMAXPROCS=%d: workers are time-sliced onto one core, ratio does not measure parallelism", procs)
+			res.Note = fmt.Sprintf("NumCPU=%d < %d workers: time-sliced, ratio does not measure parallelism", cores, k)
 		}
 		out = append(out, res)
+	}
+	return out
+}
+
+// scalingWorkload is one (workload shape, mesh size) point of the
+// shard_scaling campaign.
+type scalingWorkload struct {
+	name string
+	mesh string
+	cfg  config.Config
+	apps []trace.Profile
+	srcs func() []trace.AppSource
+}
+
+// scalingMesh widens the 32-tile baseline machine to w x h tiles, keeping
+// every cache/DRAM/CPU parameter; the memory controllers move to the new
+// mesh's corner tiles automatically.
+func scalingMesh(w, h int) config.Config {
+	cfg := config.Baseline32()
+	cfg.Mesh.Width, cfg.Mesh.Height = w, h
+	return cfg
+}
+
+// scalingWorkloads builds the campaign's workload matrix: three load shapes
+// (balanced — uniform activity, so the static cost model is already right;
+// skewed — every access aimed at memory controller 0's corner, so naive
+// rectangular splits starve three quadrants; bursty — alternating hot/idle
+// phases that stress repartitioning) on 8x8 and 16x16 meshes.
+func scalingWorkloads() []scalingWorkload {
+	var out []scalingWorkload
+	for _, m := range []struct {
+		name string
+		w, h int
+	}{{"8x8", 8, 8}, {"16x16", 16, 16}} {
+		cfg := scalingMesh(m.w, m.h)
+		nodes := cfg.Mesh.Nodes()
+
+		// balanced: the same memory-bound trace on every other tile.
+		balApps := make([]trace.Profile, nodes)
+		p := trace.MustLookup("mcf")
+		for i := 0; i < nodes; i += 2 {
+			balApps[i] = p
+		}
+		out = append(out, scalingWorkload{name: "balanced", mesh: m.name, cfg: cfg, apps: balApps})
+
+		// skewed: a quarter of the tiles issue continuous accesses whose
+		// stride (64 lines x 512) keeps every request on DRAM controller 0
+		// and L2 bank 0 — both at tile 0's corner of the mesh.
+		skApps := make([]trace.Profile, nodes)
+		var skTiles []int
+		for i := 0; i < nodes; i += 4 {
+			skApps[i] = trace.Profile{Name: "hotspot"}
+			skTiles = append(skTiles, i)
+		}
+		skSrcs := func() []trace.AppSource {
+			srcs := make([]trace.AppSource, nodes)
+			for j, tile := range skTiles {
+				srcs[tile] = &burstySource{
+					burst:      400,
+					gap:        100,
+					storeEvery: 5,
+					hotLeft:    400,
+					addr:       uint64(j+1) << 30,
+					stride:     64 * 512,
+				}
+			}
+			return srcs
+		}
+		out = append(out, scalingWorkload{name: "skewed", mesh: m.name, cfg: cfg, apps: skApps, srcs: skSrcs})
+
+		// bursty: hot/idle phase alternation on scattered tiles.
+		buApps := make([]trace.Profile, nodes)
+		var buTiles []int
+		for i := 3; i < nodes; i += 7 {
+			buApps[i] = trace.Profile{Name: "bursty"}
+			buTiles = append(buTiles, i)
+		}
+		buSrcs := func() []trace.AppSource {
+			srcs := make([]trace.AppSource, nodes)
+			for j, tile := range buTiles {
+				srcs[tile] = &burstySource{
+					burst:      200,
+					gap:        8_000,
+					storeEvery: 5,
+					hotLeft:    200,
+					addr:       uint64(j+1) << 28,
+					stride:     64,
+				}
+			}
+			return srcs
+		}
+		out = append(out, scalingWorkload{name: "bursty", mesh: m.name, cfg: cfg, apps: buApps, srcs: buSrcs})
+	}
+	return out
+}
+
+// scalingNew builds a simulator for one campaign workload.
+func scalingNew(wl scalingWorkload, cfg config.Config) (*sim.Simulator, error) {
+	if wl.srcs != nil {
+		return sim.NewFromSources(cfg, wl.srcs(), wl.apps)
+	}
+	return sim.New(cfg, wl.apps)
+}
+
+// scalingEqualityGate pins the campaign's determinism claim at the harness
+// level: on the skewed 8x8 workload (the shape most sensitive to partition
+// placement and stealing order) the sharded stepper must reproduce the
+// sequential event run byte for byte at 2, 4 and 8 workers, with stealing
+// both on and off. Quick mode (the make ci shard-scaling-smoke gate) trims
+// to 2 workers stealing on plus 4 workers stealing off.
+func scalingEqualityGate(quick bool) {
+	var wl scalingWorkload
+	for _, w := range scalingWorkloads() {
+		if w.name == "skewed" && w.mesh == "8x8" {
+			wl = w
+		}
+	}
+	cfg := wl.cfg
+	cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 2_000, 8_000
+	if quick {
+		cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 1_000, 3_000
+	}
+	runJSON := func(workers int, noSteal bool) []byte {
+		c := cfg
+		c.Run.Shards = workers
+		c.Run.NoSteal = noSteal
+		s, err := scalingNew(wl, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Run().WriteJSON(&buf); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	log.Printf("shard-scaling equality gate: skewed 8x8, sequential vs sharded...")
+	ref := runJSON(1, false)
+	points := []struct {
+		workers int
+		noSteal bool
+	}{{2, false}, {4, true}}
+	if !quick {
+		points = append(points, struct {
+			workers int
+			noSteal bool
+		}{4, false}, struct {
+			workers int
+			noSteal bool
+		}{8, false}, struct {
+			workers int
+			noSteal bool
+		}{8, true}, struct {
+			workers int
+			noSteal bool
+		}{2, true})
+	}
+	for _, pt := range points {
+		if got := runJSON(pt.workers, pt.noSteal); !bytes.Equal(ref, got) {
+			log.Fatalf("skewed 8x8 sharded run (workers=%d steal=%v) does not reproduce the sequential result:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+				pt.workers, !pt.noSteal, ref, got)
+		}
+	}
+}
+
+// scalingBenches runs the shard_scaling campaign: ns per simulated cycle at
+// 1/2/4/8 workers for every workload x mesh point, each worker count's
+// speedup taken against the same point's sequential run. Ratios are marked
+// valid only when the host machine has at least as many cores as workers —
+// on a smaller host the numbers are still recorded (barrier and stealing
+// overhead are visible in them) but flagged so nobody reads a time-sliced
+// ratio as a parallel speedup.
+func scalingBenches(quick, noSteal bool) []scalingResult {
+	warm := int64(5_000)
+	if quick {
+		warm = 1_000
+	}
+	cores := runtime.NumCPU()
+	var out []scalingResult
+	for _, wl := range scalingWorkloads() {
+		var seqNs float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			c := wl.cfg
+			c.Run.Shards = workers
+			c.Run.NoSteal = noSteal
+			log.Printf("shard_scaling %s_%s (%d workers, steal=%v)...", wl.name, wl.mesh, workers, !noSteal)
+			r := testing.Benchmark(func(b *testing.B) {
+				s, err := scalingNew(wl, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Step(warm)
+				b.ResetTimer()
+				s.Step(int64(b.N))
+			})
+			if r.N == 0 {
+				log.Fatalf("shard_scaling %s_%s (%d workers) produced no iterations", wl.name, wl.mesh, workers)
+			}
+			res := scalingResult{
+				Name:    wl.name + "_" + wl.mesh,
+				Mesh:    wl.mesh,
+				Workers: workers,
+				Steal:   !noSteal && workers > 1,
+				NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+				Ops:     r.N,
+				Cores:   cores,
+			}
+			switch {
+			case workers == 1:
+				seqNs = res.NsPerOp
+				res.Note = "sequential reference point"
+			case cores >= workers:
+				res.Speedup = seqNs / res.NsPerOp
+				res.Valid = true
+			default:
+				res.Speedup = seqNs / res.NsPerOp
+				res.Note = fmt.Sprintf("NumCPU=%d < %d workers: time-sliced, ratio does not measure parallelism", cores, workers)
+			}
+			out = append(out, res)
+		}
 	}
 	return out
 }

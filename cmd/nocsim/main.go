@@ -31,10 +31,14 @@ func main() {
 		verbose = flag.Bool("v", false, "per-application details")
 		jsonOut = flag.String("json", "", "write the scheme-1+2 run's summary as JSON to this file ('-' = stdout)")
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
-		shards  = flag.Int("shards", 1, "mesh shards per simulation (worker goroutines; results are identical at any count)")
+		shards  = flag.Int("shards", 1, "worker goroutines per simulation (results are identical at any count)")
+		steal   = flag.String("steal", "on", "intra-cycle work stealing in sharded runs: on|off (bisection escape hatch)")
 		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across the base/S1/S1+S2 runs (faster; scheme runs then warm up under the baseline policy)")
 	)
 	flag.Parse()
+	if *steal != "on" && *steal != "off" {
+		log.Fatalf("bad -steal value %q (want on or off)", *steal)
+	}
 	nocmem.SetParallelism(*jobs)
 	nocmem.SetShareWarmup(*fork)
 
@@ -51,6 +55,7 @@ func main() {
 	cfg.Run.MeasureCycles = *measure
 	cfg.Run.Seed = *seed
 	cfg.Run.Shards = *shards
+	cfg.Run.NoSteal = *steal == "off"
 	cfg.S1.UpdatePeriod = *measure / 15
 
 	w, err := nocmem.GetWorkload(*wid)

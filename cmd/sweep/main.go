@@ -31,9 +31,14 @@ func main() {
 		warmup  = flag.Int64("warmup", 100_000, "warmup cycles")
 		measure = flag.Int64("measure", 300_000, "measurement cycles")
 		jobs    = flag.Int("j", 0, "max concurrent sweep points (0 = all CPUs, 1 = sequential)")
+		shards  = flag.Int("shards", 1, "worker goroutines per simulation (results are identical at any count)")
+		steal   = flag.String("steal", "on", "intra-cycle work stealing in sharded runs: on|off (bisection escape hatch)")
 		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across compatible sweep points (faster; scheme points then warm up under the baseline policy)")
 	)
 	flag.Parse()
+	if *steal != "on" && *steal != "off" {
+		log.Fatalf("bad -steal value %q (want on or off)", *steal)
+	}
 	nocmem.SetParallelism(*jobs)
 	nocmem.SetShareWarmup(*fork)
 
@@ -44,6 +49,8 @@ func main() {
 	base := nocmem.Baseline32()
 	base.Run.WarmupCycles = *warmup
 	base.Run.MeasureCycles = *measure
+	base.Run.Shards = *shards
+	base.Run.NoSteal = *steal == "off"
 	base.S1.UpdatePeriod = *measure / 15
 
 	type point struct {

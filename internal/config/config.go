@@ -90,28 +90,6 @@ const MaxMeshTiles = 1024
 // compile-time assertion against noc.NumVNets.
 const NumVNets = 2
 
-// ShardGrid splits the mesh into k rectangular shards and returns the shard
-// grid dimensions (sx columns, sy rows of shards). k must be a power of two.
-// It halves the longer tile dimension first, so shards stay as square as
-// possible and the cut-edge (boundary traffic) count stays low.
-func (m Mesh) ShardGrid(k int) (sx, sy int) {
-	sx, sy = 1, 1
-	for sx*sy < k {
-		if m.Width/sx > m.Height/sy {
-			sx *= 2
-		} else {
-			sy *= 2
-		}
-	}
-	return sx, sy
-}
-
-// ShardOf returns the shard index of tile (x, y) under the sx x sy grid
-// returned by ShardGrid.
-func (m Mesh) ShardOf(x, y, sx, sy int) int {
-	return (y*sy/m.Height)*sx + x*sx/m.Width
-}
-
 // NoC holds the network-on-chip parameters (Table 1, "NoC parameters").
 type NoC struct {
 	Pipeline RouterPipeline
@@ -267,12 +245,19 @@ type Run struct {
 	MeasureCycles int64
 	Seed          int64
 
-	// Shards is the number of rectangular mesh shards stepped by parallel
-	// worker goroutines in event mode. 0 or 1 means the sequential
-	// single-goroutine stepper. Must be a power of two and at most
-	// min(64, Mesh.Nodes()). Results are byte-identical for every value;
-	// only wall-clock time changes.
+	// Shards is the number of worker goroutines stepping the mesh in
+	// parallel in event mode. 0 or 1 means the sequential single-goroutine
+	// stepper. Must be positive and at most min(64, Mesh.Nodes()). The
+	// tiles are split into contiguous chunks balanced by a per-tile
+	// activity cost model, and idle workers steal leftover chunks within a
+	// cycle unless NoSteal is set. Results are byte-identical for every
+	// value; only wall-clock time changes.
 	Shards int
+
+	// NoSteal disables intra-cycle work-stealing between the shard
+	// workers, pinning every chunk to its owning worker — a bisection
+	// escape hatch (-steal=off on the CLIs). No effect on results.
+	NoSteal bool
 
 	// CheckpointAt names the cycle (measured from the start of the run,
 	// warmup included) at which sim.RunWithCheckpoint serializes the full
@@ -524,8 +509,8 @@ func (c Config) Validate() error {
 	}
 	if k := c.Run.Shards; k != 0 {
 		switch {
-		case k < 0 || k&(k-1) != 0:
-			return fmt.Errorf("config: Shards %d must be a power of two", k)
+		case k < 0:
+			return fmt.Errorf("config: Shards %d must be positive (0 selects the sequential stepper)", k)
 		case k > 64:
 			return fmt.Errorf("config: Shards %d too large (max 64)", k)
 		case k > c.Mesh.Nodes():

@@ -81,7 +81,6 @@ func TestValidationRejects(t *testing.T) {
 		{"S2 zero threshold", func(c *Config) { c.S2.Enabled = true; c.S2.IdleThreshold = 0 }},
 		{"no measurement", func(c *Config) { c.Run.MeasureCycles = 0 }},
 		{"negative shards", func(c *Config) { c.Run.Shards = -2 }},
-		{"non-pow2 shards", func(c *Config) { c.Run.Shards = 3 }},
 		{"too many shards", func(c *Config) { c.Run.Shards = 128 }},
 		{"shards > tiles", func(c *Config) { c.Mesh = Mesh{Width: 2, Height: 2}; c.Run.Shards = 8 }},
 	}
@@ -128,9 +127,10 @@ func TestValidateVCsPerVNet(t *testing.T) {
 }
 
 // TestValidateCheckpointFields covers the checkpoint/resume configuration
-// surface. The shard-count agreement between save and restore is not a
-// static property of one Config, so it is enforced at restore time instead
-// — see TestRestoreErrors/shard_count_mismatch in internal/sim.
+// surface. Snapshots are partition-agnostic — the stepping layout (Shards,
+// NoSteal) is free to differ between save and restore — so no cross-config
+// agreement is enforced here; see TestCheckpointForkEquivalence's
+// cross-worker-count modes in internal/sim.
 func TestValidateCheckpointFields(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -185,44 +185,43 @@ func TestValidateCheckpointFields(t *testing.T) {
 	}
 }
 
-func TestShardGrid(t *testing.T) {
+// TestValidateShards pins the worker-count rules: any positive count up to
+// min(64, tiles) is legal (contiguous cost-balanced ranges replaced the old
+// rectangular quadrant split, so power-of-two is no longer required), zero
+// selects the sequential stepper, and negative or oversized counts are
+// configuration errors.
+func TestValidateShards(t *testing.T) {
 	cases := []struct {
-		w, h, k        int
-		wantSx, wantSy int
+		name    string
+		w, h, k int
+		wantErr string // substring of the expected error; "" = must validate
 	}{
-		{8, 4, 1, 1, 1},
-		{8, 4, 2, 2, 1}, // halve the longer dimension first
-		{8, 4, 4, 2, 2},
-		{8, 4, 8, 4, 2},
-		{4, 4, 4, 2, 2},
-		{4, 8, 2, 1, 2},
-		{16, 16, 16, 4, 4},
+		{"sequential", 8, 4, 0, ""},
+		{"single worker", 8, 4, 1, ""},
+		{"pow2 workers", 8, 4, 4, ""},
+		{"non-pow2 workers", 8, 4, 3, ""},
+		{"non-pow2 workers large", 16, 16, 7, ""},
+		{"workers equal tiles", 2, 2, 4, ""},
+		{"cap", 16, 16, 64, ""},
+		{"negative", 8, 4, -2, "positive"},
+		{"above cap", 16, 16, 65, "max 64"},
+		{"more workers than tiles", 2, 2, 5, "exceeds the 4 mesh tiles"},
 	}
 	for _, tc := range cases {
-		m := Mesh{Width: tc.w, Height: tc.h}
-		sx, sy := m.ShardGrid(tc.k)
-		if sx != tc.wantSx || sy != tc.wantSy {
-			t.Errorf("ShardGrid(%dx%d, k=%d) = %dx%d, want %dx%d",
-				tc.w, tc.h, tc.k, sx, sy, tc.wantSx, tc.wantSy)
-			continue
-		}
-		// Every tile must land in a valid shard, and every shard must be
-		// non-empty (rectangular partition covers the mesh).
-		seen := make([]int, sx*sy)
-		for y := 0; y < tc.h; y++ {
-			for x := 0; x < tc.w; x++ {
-				s := m.ShardOf(x, y, sx, sy)
-				if s < 0 || s >= sx*sy {
-					t.Fatalf("ShardOf(%d,%d) = %d out of range [0,%d)", x, y, s, sx*sy)
-				}
-				seen[s]++
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Baseline32()
+			cfg.Mesh = Mesh{Width: tc.w, Height: tc.h}
+			cfg.Run.Shards = tc.k
+			err := cfg.Validate()
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("Shards=%d on %dx%d rejected: %v", tc.k, tc.w, tc.h, err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("Shards=%d on %dx%d accepted", tc.k, tc.w, tc.h)
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
 			}
-		}
-		for s, n := range seen {
-			if n == 0 {
-				t.Errorf("ShardGrid(%dx%d, k=%d): shard %d empty", tc.w, tc.h, tc.k, s)
-			}
-		}
+		})
 	}
 }
 

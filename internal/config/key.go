@@ -112,6 +112,7 @@ func (c Config) Key() string {
 	appendInt(c.Run.MeasureCycles)
 	appendInt(c.Run.Seed)
 	appendInt(int64(c.Run.Shards))
+	appendBool(c.Run.NoSteal)
 	appendInt(c.Run.CheckpointAt)
 	appendInt(c.Run.ResumeFrom)
 	appendBool(c.AppAwareNet)
@@ -124,15 +125,17 @@ func (c Config) Key() string {
 // zeroed out. Two configurations with equal SnapshotKeys describe the same
 // machine state layout (geometry, cache shapes, DRAM organization, trace
 // seed), so a warmup snapshot taken under one restores into the other. Run
-// windows, shard counts (checked separately, since the stepping partition
-// must match) and the prioritization/scheduling policies — pure decision
-// logic with separately-carried state — are deliberately excluded, which is
-// what lets one baseline warmup snapshot fork into Scheme-1/Scheme-2/
-// app-aware measurement configurations.
+// windows, the stepping layout (worker count and stealing mode — snapshots
+// are partition-agnostic, so a sequential warmup restores into a sharded
+// run and vice versa) and the prioritization/scheduling policies — pure
+// decision logic with separately-carried state — are deliberately excluded,
+// which is what lets one baseline warmup snapshot fork into Scheme-1/
+// Scheme-2/app-aware measurement configurations.
 func (c Config) SnapshotKey() string {
 	c.Run.WarmupCycles = 0
 	c.Run.MeasureCycles = 0
 	c.Run.Shards = 0
+	c.Run.NoSteal = false
 	c.Run.CheckpointAt = 0
 	c.Run.ResumeFrom = 0
 	c.S1 = Scheme1{}

@@ -50,11 +50,13 @@ type Cache struct {
 // Key returns the snapshot cache key of cfg's run: everything that
 // determines whether two runs may restore the same warmed state. The
 // placement is keyed by application name, matching the name check
-// sim.Restore performs against the snapshot header.
+// sim.Restore performs against the snapshot header. The stepping layout
+// (Run.Shards, NoSteal) is deliberately absent: snapshots are
+// partition-agnostic, so one warmup image serves every worker count.
 func Key(cfg config.Config, apps []trace.Profile) string {
 	var b strings.Builder
 	b.WriteString(cfg.SnapshotKey())
-	fmt.Fprintf(&b, "|w%d|k%d", cfg.Run.WarmupCycles, cfg.Run.Shards)
+	fmt.Fprintf(&b, "|w%d", cfg.Run.WarmupCycles)
 	for _, a := range apps {
 		b.WriteByte('|')
 		b.WriteString(a.Name)

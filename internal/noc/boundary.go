@@ -27,3 +27,10 @@ type edgeQueue struct {
 
 // push appends one item; producer side only.
 func (q *edgeQueue) push(it boundaryItem) { q.items = append(q.items, it) }
+
+// drainWake accumulates the earliest pending deadline for one sleeping
+// destination router across a whole DrainShard pass (see netShard.drainMin).
+type drainWake struct {
+	dst int32
+	at  int64
+}

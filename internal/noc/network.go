@@ -96,6 +96,13 @@ type netShard struct {
 	wakes   *timerwheel.Wheel[int32]
 	wakeBuf []timerwheel.Due[int32] // reused PopDue delivery buffer
 
+	// drainMin is DrainShard's per-phase scratch: the minimum pending
+	// deadline per sleeping destination router, so a router fed by several
+	// boundary queues gets one batched wheel push instead of one per queue.
+	// A few entries at most (bounded by the shard's boundary degree), so a
+	// linear scan beats a map.
+	drainMin []drainWake
+
 	// flitFree recycles flits. A flit born in one shard may die (eject) in
 	// another; pools migrate objects freely since recycled flits are zeroed.
 	flitFree []*flit
@@ -184,6 +191,16 @@ func New(mesh config.Mesh, cfg config.NoC) (*Network, error) {
 func (n *Network) SetPartition(shardOf []int) {
 	if shardOf != nil && len(shardOf) != len(n.routers) {
 		panic(fmt.Sprintf("noc: partition over %d routers, mesh has %d", len(shardOf), len(n.routers)))
+	}
+	// Rebuilding drops the old edge queues, so any parked boundary item
+	// would be lost. Legal call sites (construction, the repartition point
+	// between cycles) always have them drained; assert it.
+	for _, sh := range n.shards {
+		for _, q := range sh.edgesIn {
+			if len(q.items) != 0 {
+				panic(fmt.Sprintf("noc: SetPartition with %d undrained boundary items toward router %d", len(q.items), q.dst))
+			}
+		}
 	}
 	k := 1
 	for _, s := range shardOf {
@@ -439,10 +456,13 @@ func (n *Network) TickShard(shard int, now int64) {
 // append. A sleeping receiver is woken at the earliest item deadline, not
 // immediately: once the first item is processed the router's own nextWake
 // covers the rest, so the min suffices and the receiver executes zero ticks
-// before its work is due. Must be called by this shard's worker, after the
-// barrier that ends the tick phase.
+// before its work is due. Wakes are batched across the whole drain — a
+// router fed by several boundary queues this phase gets one wheel push at
+// the minimum deadline, not one per queue. Must be called by this shard's
+// worker, after the barrier that ends the tick phase.
 func (n *Network) DrainShard(shard int) {
 	sh := n.shards[shard]
+	sh.drainMin = sh.drainMin[:0]
 	for _, q := range sh.edgesIn {
 		if len(q.items) == 0 {
 			continue
@@ -460,9 +480,24 @@ func (n *Network) DrainShard(shard int) {
 			}
 		}
 		if n.eventDriven && !sh.active.Has(q.dst) {
-			sh.wakes.Push(r.wakeAlign(minAt), int32(q.dst))
+			merged := false
+			for i := range sh.drainMin {
+				if sh.drainMin[i].dst == int32(q.dst) {
+					if minAt < sh.drainMin[i].at {
+						sh.drainMin[i].at = minAt
+					}
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				sh.drainMin = append(sh.drainMin, drainWake{dst: int32(q.dst), at: minAt})
+			}
 		}
 		q.items = q.items[:0]
+	}
+	for _, dw := range sh.drainMin {
+		sh.wakes.Push(n.routers[dw.dst].wakeAlign(dw.at), dw.dst)
 	}
 }
 

@@ -123,6 +123,13 @@ func (pp *PacketPool) Get() *Packet {
 	return &Packet{}
 }
 
+// Absorb moves every pooled packet from other into pp, leaving other
+// empty; used when a partition rebuild folds old shards' pools together.
+func (pp *PacketPool) Absorb(other *PacketPool) {
+	pp.free = append(pp.free, other.free...)
+	other.free = nil
+}
+
 // Put retires a packet. The caller must not retain references: every field
 // (including Payload) is cleared.
 func (pp *PacketPool) Put(p *Packet) {

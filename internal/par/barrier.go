@@ -1,0 +1,64 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a sense-reversing spin barrier for a fixed set of workers that
+// rendezvous many times per millisecond — the per-cycle synchronization
+// primitive of the sharded simulator stepper. A channel-based barrier costs
+// two scheduler round trips per worker per wait; this one is a single
+// atomic add on the arrival path and a bounded spin on the release path,
+// escalating to runtime.Gosched so oversubscribed hosts (fewer cores than
+// workers) degrade to cooperative scheduling instead of burning a
+// timeslice.
+//
+// The last arriver may run a serial section while the other workers wait:
+// worker writes made before Wait are visible to the serial section, and
+// serial-section writes are visible to every worker after release (the
+// arrival add and the sense flip are the happens-before edges, built on
+// sync/atomic so the race detector sees them too).
+type Barrier struct {
+	n       int32
+	arrived atomic.Int32
+	sense   atomic.Uint32
+}
+
+// NewBarrier returns a barrier for n workers. Every one of the n workers
+// must call Wait for any of them to pass it.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("par: barrier needs at least one worker")
+	}
+	return &Barrier{n: int32(n)}
+}
+
+// spinBudget bounds the busy-wait before a blocked worker starts yielding
+// its timeslice. Crossing a phase takes a few hundred nanoseconds when the
+// peers are actually running, so a short spin catches the common case; on a
+// host with fewer cores than workers the release can only happen after the
+// spinner yields, hence the escalation.
+const spinBudget = 256
+
+// Wait blocks until all n workers arrived. The last arriver runs serial
+// (when non-nil) before releasing the others; exactly one worker runs it
+// per round, with the barrier fully quiesced around it.
+func (b *Barrier) Wait(serial func()) {
+	s := b.sense.Load()
+	if b.arrived.Add(1) == b.n {
+		if serial != nil {
+			serial()
+		}
+		// Reset before flipping the sense: nobody passes the barrier until
+		// the flip, so the next round's arrivals count from zero.
+		b.arrived.Store(0)
+		b.sense.Add(1)
+		return
+	}
+	for spins := 0; b.sense.Load() == s; spins++ {
+		if spins > spinBudget {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBarrierSerialOncePerRound drives one serial-section counter through a
+// few rounds: the serial function must run exactly once per round, and every
+// worker must observe its effects after release (the happens-before edge the
+// sharded stepper's cycle bookkeeping depends on).
+func TestBarrierSerialOncePerRound(t *testing.T) {
+	const workers, rounds = 4, 1_000
+	b := NewBarrier(workers)
+	serialRuns := 0 // written only inside the serial section
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 1; r <= rounds; r++ {
+				b.Wait(func() { serialRuns++ })
+				// Plain read: the sense flip must order it after the
+				// serial increment, or the race detector fires.
+				if serialRuns != r {
+					t.Errorf("round %d: saw %d serial runs", r, serialRuns)
+					return
+				}
+				b.Wait(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if serialRuns != rounds {
+		t.Fatalf("serial section ran %d times, want %d", serialRuns, rounds)
+	}
+}
+
+// TestBarrierStress is the lost-wakeup hunt: 10k rounds with randomized
+// per-worker arrival skew (each worker burns a different amount of work
+// before arriving, reshuffled every round), so arrivals hit the barrier in
+// every possible interleaving — including the last arriver racing a slow
+// releaser from the previous round. A single missed release deadlocks the
+// test (caught by the package timeout); a double release corrupts the
+// per-round phase counter check. Runs under -race in make ci, which verifies
+// the sense flip publishes the serial section's writes.
+func TestBarrierStress(t *testing.T) {
+	const workers, rounds = 8, 10_000
+	b := NewBarrier(workers)
+	var phase atomic.Int64 // advanced only in the serial section
+	var spun [workers]int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			for r := 0; r < rounds; r++ {
+				// Randomized skew: between 0 and ~2µs of busy work.
+				for n := rng.Intn(200); n > 0; n-- {
+					spun[w]++
+				}
+				b.Wait(func() { phase.Add(1) })
+				if got := phase.Load(); got != int64(r+1) {
+					t.Errorf("worker %d round %d: phase %d", w, r, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := phase.Load(); got != rounds {
+		t.Fatalf("completed %d rounds, want %d", got, rounds)
+	}
+}
+
+// TestBarrierSingleWorker pins the degenerate configuration the sequential
+// fallback uses: with n=1 every Wait is its own last arriver, runs the
+// serial section, and never blocks.
+func TestBarrierSingleWorker(t *testing.T) {
+	b := NewBarrier(1)
+	runs := 0
+	for i := 0; i < 100; i++ {
+		b.Wait(func() { runs++ })
+	}
+	if runs != 100 {
+		t.Fatalf("serial section ran %d times, want 100", runs)
+	}
+}
+
+func TestBarrierRejectsZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}

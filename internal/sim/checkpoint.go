@@ -20,10 +20,10 @@ import (
 // ascending index order, maps in sorted key order, and shared pointers
 // (transactions, packets) interned in first-encounter order. Per-shard
 // accumulators (collectors, network stats) are encoded merged — only their
-// sums are observable — which makes snapshots independent of the shard
-// count they were taken under stepping-wise, though the shard count itself
-// is recorded and enforced on restore so the forked run replays the exact
-// same partition.
+// sums are observable — which makes snapshots partition-agnostic: an image
+// taken under any worker count or chunk layout restores into any other
+// (results are partition-independent, and Restore re-derives all scheduler
+// state via activateAll).
 //
 // The only legal checkpoint boundary is between Step calls: the encoder
 // fails if any cross-shard boundary queue still holds traffic.
@@ -36,7 +36,10 @@ import (
 func (s *Simulator) Checkpoint(wr io.Writer) error {
 	w := snapshot.NewWriter(wr)
 	w.String(s.cfg.SnapshotKey())
-	w.Int(len(s.shards))
+	// Historical shard-count field, kept so the format (and the pinned
+	// golden image) stays stable. Always 1: the stepping partition is not
+	// simulator state — snapshots restore under any worker count.
+	w.Int(1)
 	w.Len(len(s.apps))
 	for _, a := range s.apps {
 		w.String(a.Name)
@@ -73,8 +76,10 @@ func (s *Simulator) Checkpoint(wr io.Writer) error {
 // Restore builds a simulator from cfg and apps exactly as New does, then
 // overlays the state read from rd. The snapshot must have been taken under
 // a structurally compatible configuration (same SnapshotKey — geometry,
-// timing, seed), the same application placement, and the same shard count.
-// The prioritization schemes and the memory scheduling policy may differ:
+// timing, seed) and the same application placement; the stepping layout
+// (Run.Shards, NoSteal) is free to differ — snapshots are partition-
+// agnostic. The prioritization schemes and the memory scheduling policy may
+// differ:
 // a baseline warmup snapshot restores into a scheme-enabled measurement
 // configuration, with the scheme state starting cold.
 //
@@ -113,10 +118,12 @@ func (s *Simulator) restore(rd io.Reader) error {
 	if r.Err() == nil && key != s.cfg.SnapshotKey() {
 		return fmt.Errorf("%w: snapshot was taken under an incompatible configuration", snapshot.ErrFormat)
 	}
+	// The legacy shard-count field is no longer matched against the
+	// restoring configuration — the stepping partition is not simulator
+	// state — but an implausible value still means corruption.
 	shards := r.Int()
-	if r.Err() == nil && shards != len(s.shards) {
-		return fmt.Errorf("%w: snapshot was taken with %d shards, this configuration runs %d — shard count must match between save and restore",
-			snapshot.ErrFormat, shards, len(s.shards))
+	if r.Err() == nil && (shards < 1 || shards > config.MaxMeshTiles) {
+		return fmt.Errorf("%w: implausible shard count %d", snapshot.ErrFormat, shards)
 	}
 	napps := r.Len(4)
 	if r.Err() == nil && napps != len(s.apps) {

@@ -91,6 +91,48 @@ func TestCheckpointForkEquivalence(t *testing.T) {
 	}
 }
 
+// TestCheckpointPartitionAgnostic pins the property the forkrun cache's key
+// relies on: snapshots carry no stepping layout, so an image taken under one
+// worker count restores under any other — and the resumed run still
+// reproduces the producer's straight-through result byte for byte. One warm
+// image therefore serves the whole worker-count sweep.
+func TestCheckpointPartitionAgnostic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Run.CheckpointAt = cfg.Run.WarmupCycles
+	apps := fillApps(cfg, "milc", 6)
+
+	// The oracle: the sequential producer's complete run.
+	seqSnap, wantJSON, want := takeSnapshot(t, cfg, apps, false, 1)
+
+	for _, m := range []struct {
+		name    string
+		shards  int
+		noSteal bool
+	}{
+		{"resume_2_workers", 2, false},
+		{"resume_3_workers", 3, false},
+		{"resume_4_workers", 4, false},
+		{"resume_8_workers_nosteal", 8, true},
+	} {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			c := cfg
+			c.Run.NoSteal = m.noSteal
+			gotJSON, got := resumeRun(t, c, apps, false, m.shards, seqSnap)
+			expectSame(t, m.name, wantJSON, want, gotJSON, got)
+		})
+	}
+
+	// And the reverse direction: a sharded producer's image resumes
+	// sequentially into the same pinned result.
+	t.Run("sharded_snapshot_sequential_resume", func(t *testing.T) {
+		shSnap, shJSON, shRes := takeSnapshot(t, cfg, apps, false, 4)
+		expectSame(t, "sharded_producer", wantJSON, want, shJSON, shRes)
+		gotJSON, got := resumeRun(t, cfg, apps, false, 1, shSnap)
+		expectSame(t, "sequential_resume", wantJSON, want, gotJSON, got)
+	})
+}
+
 // TestCheckpointMidMeasurementFork covers the other checkpoint placement: a
 // snapshot taken inside the measurement window carries the partially-filled
 // collectors, and resuming completes the window byte-identically.
@@ -262,11 +304,6 @@ func TestRestoreErrors(t *testing.T) {
 		data    func() []byte
 		wantSub string
 	}{
-		{
-			name:    "shard_count_mismatch",
-			cfg:     func() config.Config { c := cfg; c.Run.Shards = 2; return c },
-			wantSub: "shard count must match",
-		},
 		{
 			name: "structural_mismatch",
 			cfg: func() config.Config {

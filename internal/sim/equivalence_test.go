@@ -69,8 +69,10 @@ func expectSameHistograms(t *testing.T, name string, ref, got *Result) {
 }
 
 // TestEventDenseEquivalence is the scheduler's correctness oracle, now
-// three-way: the event-driven stepper AND the sharded parallel stepper (2
-// and 4 workers) must reproduce the dense reference cycle for cycle —
+// three-way: the event-driven stepper AND the sharded parallel stepper (2,
+// 3, 4 and 8 workers, work stealing on — 3 pins the non-power-of-two layout
+// the contiguous-range partition made legal) must reproduce the dense
+// reference cycle for cycle —
 // byte-identical summaries and identical core counters (which include the
 // stall and outstanding-instruction integrals the closed-form catch-up
 // reconstructs) — across workloads exercising idle tiles, hard-stalled
@@ -115,14 +117,21 @@ func TestEventDenseEquivalence(t *testing.T) {
 		// work, and this counter is the direct witness — it under-counts
 		// even when the summary happens to agree.
 		wantTicked int64
+		// allWorkers widens the worker sweep to {2, 3, 4, 8} — 3 pins the
+		// non-power-of-two layout the contiguous-range partition made legal,
+		// 8 the chunks-per-worker floor. Only the heaviest workloads carry
+		// the full sweep; the rest run {2, 4} to keep the raced suite's
+		// wall-clock bounded on small hosts (the skewed-hotspot test below
+		// covers 8 workers with stealing on and off separately).
+		allWorkers bool
 	}{
-		{"all_idle", base, make([]trace.Profile, base.Mesh.Nodes()), 0},
-		{"alone_mcf", base, fillApps(base, "mcf", 1), 0},
-		{"milc_8", base, fillApps(base, "milc", 8), 0},
-		{"saturated_mcf_16", base, fillApps(base, "mcf", 16), 0},
-		{"schemes_mcf_12", schemes, fillApps(schemes, "mcf", 12), 0},
-		{"hetero_clocks_milc_8", hetero, fillApps(hetero, "milc", 8), 0},
-		{"mixed_w1_half_16", base, mixed, base.Run.WarmupCycles + base.Run.MeasureCycles},
+		{"all_idle", base, make([]trace.Profile, base.Mesh.Nodes()), 0, false},
+		{"alone_mcf", base, fillApps(base, "mcf", 1), 0, false},
+		{"milc_8", base, fillApps(base, "milc", 8), 0, false},
+		{"saturated_mcf_16", base, fillApps(base, "mcf", 16), 0, true},
+		{"schemes_mcf_12", schemes, fillApps(schemes, "mcf", 12), 0, false},
+		{"hetero_clocks_milc_8", hetero, fillApps(hetero, "milc", 8), 0, false},
+		{"mixed_w1_half_16", base, mixed, base.Run.WarmupCycles + base.Run.MeasureCycles, true},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -136,7 +145,11 @@ func TestEventDenseEquivalence(t *testing.T) {
 					t.Errorf("event stepper executed %d cycles, want %d", got, tc.wantTicked)
 				}
 			}
-			for _, shards := range []int{2, 4} {
+			workerCounts := []int{2, 4}
+			if tc.allWorkers {
+				workerCounts = []int{2, 3, 4, 8}
+			}
+			for _, shards := range workerCounts {
 				name := fmt.Sprintf("sharded_%d", shards)
 				gotJSON, gotRes, gotSim := runOnce(t, tc.cfg, tc.apps, false, shards)
 				expectSame(t, name, denseJSON, denseRes, gotJSON, gotRes)
@@ -271,5 +284,89 @@ func TestQuiesceAfterDrain(t *testing.T) {
 	if r.Collector.OffChip[0] == 0 || r.Collector.OffChip[5] == 0 {
 		t.Fatalf("drain sources completed no off-chip accesses: %d / %d",
 			r.Collector.OffChip[0], r.Collector.OffChip[5])
+	}
+}
+
+// hotspotSource issues an endless stream of memory accesses whose stride (64
+// lines x 512) pins every request to DRAM controller 0 and L2 bank 0 — both
+// resident at tile 0's mesh corner. With several of these running, the
+// corner quadrant carries nearly all simulation work while the far quadrants
+// idle: the load shape where the old rectangular shard split degenerated to
+// one busy worker, and the one most sensitive to partition placement and
+// steal ordering.
+type hotspotSource struct {
+	addr uint64
+}
+
+func (h *hotspotSource) Next() trace.Instr {
+	a := h.addr
+	h.addr += 64 * 512
+	return trace.Instr{IsMem: true, IsStore: h.addr%5 == 0, Addr: a}
+}
+
+func (h *hotspotSource) PrewarmLines() (hot, warm []uint64) { return nil, nil }
+
+// skewedWorkload puts hotspot sources on a quarter of the tiles, spread over
+// the whole mesh, all hammering the controller-0 corner.
+func skewedWorkload(cfg config.Config) ([]trace.Profile, func() []trace.AppSource) {
+	nodes := cfg.Mesh.Nodes()
+	apps := make([]trace.Profile, nodes)
+	var tiles []int
+	for i := 0; i < nodes; i += 4 {
+		apps[i] = trace.Profile{Name: "hotspot"}
+		tiles = append(tiles, i)
+	}
+	srcs := func() []trace.AppSource {
+		out := make([]trace.AppSource, nodes)
+		for j, tile := range tiles {
+			out[tile] = &hotspotSource{addr: uint64(j+1) << 30}
+		}
+		return out
+	}
+	return apps, srcs
+}
+
+// TestSkewedHotspotEquivalence pins the sharded stepper on the skewed load:
+// every worker count (1, 2, 4, 8), with work stealing enabled and disabled,
+// must reproduce the dense reference byte for byte even though nearly all
+// work lands in one corner of the mesh. Under -race (make ci) this is also
+// the data-race oracle for the stealing fast path: stolen chunks of the hot
+// quadrant execute on whichever worker claims them while the cold quadrants'
+// owners go idle and steal.
+func TestSkewedHotspotEquivalence(t *testing.T) {
+	cfg := smallConfig()
+	// Seven runs of this workload; a tighter window than smallConfig's keeps
+	// the raced suite's wall-clock bounded without losing coverage — the
+	// hotspot saturates the corner within a few hundred cycles.
+	cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = 2_000, 8_000
+	apps, srcs := skewedWorkload(cfg)
+
+	run := func(dense bool, shards int, noSteal bool) ([]byte, *Result) {
+		t.Helper()
+		c := cfg
+		c.Run.Shards = shards
+		c.Run.NoSteal = noSteal
+		s, err := NewFromSources(c, srcs(), apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetDenseStepping(dense)
+		r := s.Run()
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), r
+	}
+
+	denseJSON, denseRes := run(true, 1, false)
+	eventJSON, eventRes := run(false, 1, false)
+	expectSame(t, "event", denseJSON, denseRes, eventJSON, eventRes)
+	for _, workers := range []int{2, 4, 8} {
+		for _, noSteal := range []bool{false, true} {
+			name := fmt.Sprintf("sharded_%d_steal_%v", workers, !noSteal)
+			gotJSON, gotRes := run(false, workers, noSteal)
+			expectSame(t, name, denseJSON, denseRes, gotJSON, gotRes)
+		}
 	}
 }

@@ -71,6 +71,11 @@ type node struct {
 	// cycle is the span of elided hard-stall core ticks replayed in closed
 	// form (see sched.go and cpu.CatchUpStall).
 	lastCoreTick int64
+
+	// execs counts executed front-end ticks, feeding the partition cost
+	// model (partition.go). Pure measurement: never read on a simulated
+	// path, not checkpointed.
+	execs int64
 }
 
 func newNode(id int, s *Simulator) *node {

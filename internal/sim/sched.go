@@ -196,7 +196,7 @@ func (s *Simulator) tryDrainFastForward(now, next int64) bool {
 // (shard.go) — byte-identical by the boundary-queue construction.
 func (s *Simulator) stepEvent(cycles int64) {
 	end := s.now + cycles
-	if len(s.shards) > 1 {
+	if s.workers > 1 {
 		s.stepSharded(end)
 		return
 	}

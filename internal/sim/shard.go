@@ -3,36 +3,50 @@ package sim
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"nocmem/internal/bitset"
 	"nocmem/internal/noc"
+	"nocmem/internal/par"
 	"nocmem/internal/timerwheel"
 )
 
-// Sharded stepping splits the mesh into rectangular tile groups, each ticked
-// by its own worker goroutine. A cycle runs in two phases separated by
-// barriers:
+// Sharded stepping splits the tile range into contiguous cost-balanced
+// chunks (see partition.go), stepped by Run.Shards worker goroutines. A
+// cycle runs in two phases separated by barriers:
 //
-//	barrier (serial: policy tick, quiescence fast-forward, cycle advance)
-//	phaseFront: MC ticks, node front-ends, network tick   — per shard
-//	barrier
-//	phaseBack: boundary drain, cores, sleep bookkeeping   — per shard
+//	barrier (serial: policy tick, quiescence fast-forward, cycle advance,
+//	         repartition trigger, work-cursor reset)
+//	phaseFront: MC ticks, node front-ends, network tick   — per chunk
+//	barrier (serial: work-cursor reset)
+//	phaseBack: boundary drain, cores, sleep bookkeeping   — per chunk
 //
-// Everything a shard mutates during a phase is owned by it: its tiles, its
-// controllers, its routers (see noc.netShard), its wake heap, collector and
-// pools. The only cross-shard traffic is router-boundary flits and credits,
-// which travel through fixed-order SPSC queues drained in phaseBack
+// Everything a chunk mutates during a phase is owned by it: its tiles, its
+// controllers, its routers (see noc.netShard), its wake wheels, collector
+// and pools. The only cross-chunk traffic is router-boundary flits and
+// credits, which travel through fixed-order SPSC queues drained in phaseBack
 // (noc.DrainShard), and the Scheme-1/2 counters, which are atomic adds.
 // Because every boundary item is future-dated and the merge order is fixed,
-// the sharded run is byte-identical to the sequential one for any worker
-// count — the equivalence tests enforce this, and the sequential path
-// remains the reference semantics (same pattern as NOCMEM_DENSE_STEP).
+// the results are *partition-independent*: byte-identical to the sequential
+// stepper for any chunk layout and any worker count — the equivalence tests
+// enforce this, and the sequential path remains the reference semantics
+// (same pattern as NOCMEM_DENSE_STEP).
+//
+// Partition independence is also what makes intra-cycle work-stealing safe.
+// The mesh is over-decomposed into more chunks than workers (stealChunksX
+// per worker); each worker owns a queue of chunks, claims them with an
+// atomic fetch-add cursor, and when its own queue runs dry scans the other
+// workers' queues and claims their leftovers. A chunk's phase therefore
+// executes exactly once per cycle — by *some* worker — and since all of the
+// phase's effects target chunk-owned state, it does not matter which worker
+// that is. The barrier between the phases (and between cycles) establishes
+// the happens-before edge when a chunk migrates between workers.
 
-// simShard owns a disjoint subset of tiles and their hosted memory
-// controllers, mirroring the noc partition with the same shard ids.
+// simShard owns a disjoint contiguous range of tiles and their hosted
+// memory controllers, mirroring the noc partition with the same shard ids.
+// It is the unit of work-stealing: a shard's phase is executed by exactly
+// one worker per cycle, not necessarily the same one each cycle.
 type simShard struct {
 	id int
 	s  *Simulator
@@ -131,6 +145,7 @@ func (sh *simShard) phaseFront(now int64) {
 			i := wi*64 + bits.TrailingZeros64(w)
 			w &= w - 1
 			n := sh.s.nodes[i]
+			n.execs++
 			n.catchUpCore(now)
 			n.dispatchInbox(now)
 			n.tickL2(now)
@@ -170,33 +185,63 @@ func (sh *simShard) phaseBack(now int64) {
 	}
 }
 
-// barrier is a sense-reversing spin barrier whose last arriver runs an
-// optional serial section before releasing the others. Built on sync/atomic
-// so the race detector sees the happens-before edges: worker writes before
-// arrival are visible to the serial section, and serial-section writes are
-// visible to every worker after release.
-type barrier struct {
-	n       int32
-	arrived int32
-	sense   uint32
+// workQueue is one worker's claimable list of chunk (shard) ids for the
+// current phase. The cursor is an atomic fetch-add: the owner claims from
+// it, and — with stealing on — so does any other worker that ran dry, each
+// claim yielding a distinct chunk. Cursors reset in the barrier serial
+// sections, which also provide the happens-before edge between a chunk's
+// executions on different workers. The padding keeps each queue's cursor on
+// its own cache line so cross-worker claims don't false-share.
+type workQueue struct {
+	chunks []int32
+	next   atomic.Int32
+	_      [60]byte
 }
 
-func (b *barrier) wait(serial func()) {
-	s := atomic.LoadUint32(&b.sense)
-	if atomic.AddInt32(&b.arrived, 1) == b.n {
-		if serial != nil {
-			serial()
+// claim returns the next unclaimed chunk index in q, or -1 when exhausted.
+// Losing claimers overshoot the cursor harmlessly: it resets every phase and
+// gains at most one overshoot per worker per phase.
+func (q *workQueue) claim() int {
+	i := int(q.next.Add(1)) - 1
+	if i >= len(q.chunks) {
+		return -1
+	}
+	return int(q.chunks[i])
+}
+
+// runPhase executes one phase of one cycle from worker w's perspective:
+// drain the worker's own chunk queue, then — when stealing — scan the other
+// workers' queues for leftovers. Which worker executes a chunk is
+// timing-dependent and irrelevant; *that* each chunk executes exactly once
+// is guaranteed by the atomic claim.
+func (s *Simulator) runPhase(w int, now int64, front bool) {
+	for c := s.queues[w].claim(); c >= 0; c = s.queues[w].claim() {
+		s.runChunk(c, now, front)
+	}
+	if !s.steal {
+		return
+	}
+	for d := 1; d < len(s.queues); d++ {
+		v := &s.queues[(w+d)%len(s.queues)]
+		for c := v.claim(); c >= 0; c = v.claim() {
+			s.runChunk(c, now, front)
 		}
-		// Reset before flipping the sense: nobody passes the barrier until
-		// the flip, so the next round's arrivals count from zero.
-		atomic.StoreInt32(&b.arrived, 0)
-		atomic.AddUint32(&b.sense, 1)
+	}
+}
+
+func (s *Simulator) runChunk(c int, now int64, front bool) {
+	if front {
+		s.shards[c].phaseFront(now)
 	} else {
-		for spins := 0; atomic.LoadUint32(&b.sense) == s; spins++ {
-			if spins > 256 {
-				runtime.Gosched()
-			}
-		}
+		s.shards[c].phaseBack(now)
+	}
+}
+
+// resetCursors re-arms every worker queue for the next phase. Runs only in
+// barrier serial sections.
+func (s *Simulator) resetCursors() {
+	for i := range s.queues {
+		s.queues[i].next.Store(0)
 	}
 }
 
@@ -205,35 +250,49 @@ func (b *barrier) wait(serial func()) {
 // start) and read by workers after the barrier, so access needs no further
 // synchronization.
 type stepPar struct {
-	bar   barrier
-	end   int64
-	stop  bool  // all work done: workers return
-	skip  bool  // this round fast-forwarded; no phases to run
-	cycle int64 // the cycle the phases execute
+	bar    *par.Barrier
+	end    int64
+	stop   bool  // workers return: done, or a repartition is pending
+	repart bool  // stopped to rebuild the partition; stepSharded resumes
+	skip   bool  // this round fast-forwarded; no phases to run
+	cycle  int64 // the cycle the phases execute
 }
 
-// stepSharded advances the system to end with one worker per shard. The
-// calling goroutine doubles as shard 0's worker.
+// stepSharded advances the system to end with Run.Shards worker goroutines.
+// The calling goroutine doubles as worker 0. When the serial section decides
+// the partition has gone stale (repartEvery), the workers quiesce, the
+// chunks are rebuilt from measured activity at this — provably drained —
+// cycle boundary, and a fresh worker set resumes. Repartitioning changes
+// wall-clock time only, never results.
 func (s *Simulator) stepSharded(end int64) {
-	s.par = stepPar{bar: barrier{n: int32(len(s.shards))}, end: end}
-	var wg sync.WaitGroup
-	for _, sh := range s.shards[1:] {
-		wg.Add(1)
-		go func(sh *simShard) {
-			defer wg.Done()
-			s.shardWorker(sh)
-		}(sh)
+	if s.repartNext == 0 && s.repartEvery > 0 {
+		s.repartNext = s.now + s.repartEvery
 	}
-	s.shardWorker(s.shards[0])
-	wg.Wait()
+	for {
+		s.par = stepPar{bar: par.NewBarrier(s.workers), end: end}
+		var wg sync.WaitGroup
+		for w := 1; w < s.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s.shardWorker(w)
+			}(w)
+		}
+		s.shardWorker(0)
+		wg.Wait()
+		if !s.par.repart {
+			return
+		}
+		s.repartition()
+	}
 }
 
-// shardWorker is the per-shard cycle loop. All workers observe the same
+// shardWorker is the per-worker cycle loop. All workers observe the same
 // serial-section decisions each round, so they take identical branches and
 // exit together.
-func (s *Simulator) shardWorker(sh *simShard) {
+func (s *Simulator) shardWorker(w int) {
 	for {
-		s.par.bar.wait(s.cycleSerial)
+		s.par.bar.Wait(s.cycleSerial)
 		if s.par.stop {
 			return
 		}
@@ -241,20 +300,29 @@ func (s *Simulator) shardWorker(sh *simShard) {
 			continue
 		}
 		c := s.par.cycle
-		sh.phaseFront(c)
-		s.par.bar.wait(nil)
-		sh.phaseBack(c)
+		s.runPhase(w, c, true)
+		s.par.bar.Wait(s.resetCursors)
+		s.runPhase(w, c, false)
 	}
 }
 
 // cycleSerial is the per-cycle serial section, run by the barrier's last
 // arriver while the other workers spin: policy tick, the global quiescence
-// fast-forward decision, and the cycle advance. Identical in effect to the
-// head of the sequential stepEvent loop.
+// fast-forward decision, the repartition trigger, and the cycle advance.
+// Identical in effect to the head of the sequential stepEvent loop.
 func (s *Simulator) cycleSerial() {
 	now := s.now
 	if now >= s.par.end {
 		s.par.stop = true
+		return
+	}
+	if s.repartEvery > 0 && now >= s.repartNext {
+		// Between cycles every boundary queue is drained — the same
+		// invariant that makes this a legal checkpoint boundary makes it the
+		// only safe repartition point. Park the workers; stepSharded
+		// rebuilds and respawns.
+		s.repartNext = now + s.repartEvery
+		s.par.stop, s.par.repart = true, true
 		return
 	}
 	if now >= s.polNext {
@@ -269,6 +337,7 @@ func (s *Simulator) cycleSerial() {
 	s.par.skip = false
 	s.par.cycle = now
 	s.ticked++
+	s.resetCursors()
 	// s.now advances before the phases run; within the cycle every code path
 	// receives the executing cycle as a parameter (node.issue reads it from
 	// lastCoreTick), so nothing observes the early advance.

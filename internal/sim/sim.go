@@ -32,11 +32,24 @@ type Simulator struct {
 
 	now int64
 
-	// shards partition the tiles for stepping (shard.go); always at least
-	// one. The scheduler state (active sets, wake heaps), measurement
-	// collectors and object pools live on the shards so worker goroutines
-	// never contend. Run.Shards <= 1 keeps the single sequential shard.
-	shards []*simShard
+	// shards partition the tiles into contiguous cost-balanced chunks for
+	// stepping (shard.go, partition.go); always at least one. The scheduler
+	// state (active sets, wake wheels), measurement collectors and object
+	// pools live on the shards so worker goroutines never contend.
+	// Run.Shards <= 1 keeps the single sequential shard; with more workers
+	// and stealing on, the mesh is over-decomposed into more chunks than
+	// workers so idle workers can steal leftovers.
+	shards  []*simShard
+	workers int         // parallel worker goroutines; 1 = sequential
+	steal   bool        // intra-cycle work stealing between workers
+	queues  []workQueue // per-worker chunk claim queues, len == workers
+
+	// Adaptive repartitioning: every repartEvery cycles the serial section
+	// parks the workers and rebuilds the chunks from the activity measured
+	// since costBase was snapshotted. 0 disables (static partition).
+	repartEvery int64
+	repartNext  int64
+	costBase    []int64 // per-tile cumulative activity at the last build
 
 	// Event-driven scheduler state (see sched.go): dense selects the
 	// reference stepper instead, polNext is the next cycle the policy has
@@ -147,24 +160,79 @@ func NewFromSources(cfg config.Config, srcs []trace.AppSource, apps []trace.Prof
 	return s, nil
 }
 
-// buildShards partitions the tiles per Run.Shards into rectangular groups,
-// mirrors the partition onto the network, and hands every node and memory
-// controller its owning shard.
+// stealChunksPerWorker over-decomposes the mesh when stealing is on: more
+// chunks than workers is what gives an idle worker something to take. Higher
+// values balance finer but pay more per-chunk overhead (boundary queues,
+// collector merges); 4 keeps the steal granularity near a quarter of a
+// worker's load.
+const stealChunksPerWorker = 4
+
+// defaultRepartEvery is the adaptive repartition period in simulated cycles:
+// long enough to amortize the worker restart and gather a meaningful
+// activity sample, short enough to track phase changes in the workload.
+const defaultRepartEvery = 50_000
+
+// buildShards derives the stepping layout from Run.Shards at construction:
+// worker count, stealing mode, repartition cadence, and the initial
+// cost-balanced partition from the static per-tile cost model.
 func (s *Simulator) buildShards() {
-	k := s.cfg.Run.Shards
-	if k < 1 {
-		k = 1
+	w := s.cfg.Run.Shards
+	if w < 1 {
+		w = 1
 	}
+	if w > len(s.nodes) {
+		w = len(s.nodes)
+	}
+	s.workers = w
+	s.steal = w > 1 && !s.cfg.Run.NoSteal
+	if w > 1 {
+		s.repartEvery = defaultRepartEvery
+	}
+	s.rebuildPartition(s.staticCosts())
+	s.costBase = s.tileActivity()
+}
+
+// rebuildPartition splits the tiles into contiguous chunks balancing the
+// given per-tile costs, mirrors the partition onto the network, hands every
+// node and memory controller its owning chunk, and groups the chunks into
+// per-worker claim queues (themselves cost-balanced). Measurement state and
+// object pools carry over from any previous partition, so rebuilding
+// mid-run is invisible in the results.
+func (s *Simulator) rebuildPartition(costs []int64) {
 	nodes := len(s.nodes)
-	sx, sy := s.cfg.Mesh.ShardGrid(k)
+	chunks := s.workers
+	if s.steal {
+		chunks = s.workers * stealChunksPerWorker
+		if chunks > nodes {
+			chunks = nodes
+		}
+	}
+	ends := linearPartition(costs, chunks)
 	shardOf := make([]int, nodes)
-	for i := range shardOf {
-		shardOf[i] = s.cfg.Mesh.ShardOf(i%s.cfg.Mesh.Width, i/s.cfg.Mesh.Width, sx, sy)
+	start := 0
+	for si, end := range ends {
+		for i := start; i < end; i++ {
+			shardOf[i] = si
+		}
+		start = end
 	}
-	if k > 1 {
-		s.net.SetPartition(shardOf)
+	s.net.SetPartition(shardOf)
+
+	// Carry accumulated measurements and pooled objects into the new
+	// layout: the merged collector lands on chunk 0 (results() merges
+	// elementwise, so placement is immaterial), pools are pure capacity.
+	var carryCol *Collector
+	var carryPkts noc.PacketPool
+	var carryMsgs []*message
+	if len(s.shards) > 0 {
+		carryCol = s.collector()
+		for _, sh := range s.shards {
+			carryPkts.Absorb(&sh.pkts)
+			carryMsgs = append(carryMsgs, sh.msgFree...)
+		}
 	}
-	s.shards = make([]*simShard, sx*sy)
+
+	s.shards = make([]*simShard, len(ends))
 	for i := range s.shards {
 		s.shards[i] = &simShard{
 			id:         i,
@@ -176,6 +244,14 @@ func (s *Simulator) buildShards() {
 			col:        newCollector(nodes),
 		}
 	}
+	if carryCol != nil {
+		s.shards[0].col = carryCol
+		for _, sh := range s.shards[1:] {
+			sh.col.measuring = carryCol.measuring
+		}
+		s.shards[0].pkts = carryPkts
+		s.shards[0].msgFree = carryMsgs
+	}
 	for i, n := range s.nodes {
 		sh := s.shards[shardOf[i]]
 		n.sh = sh
@@ -185,6 +261,41 @@ func (s *Simulator) buildShards() {
 		sh := s.shards[shardOf[mc.tile]]
 		mc.sh = sh
 		sh.mcs = append(sh.mcs, mc)
+	}
+
+	// Group the chunks into one contiguous claim queue per worker, balanced
+	// on the same costs so the no-steal path is load-balanced too.
+	chunkCost := make([]int64, len(ends))
+	start = 0
+	for si, end := range ends {
+		var sum int64
+		for i := start; i < end; i++ {
+			sum += costs[i]
+		}
+		chunkCost[si] = sum
+		start = end
+	}
+	wEnds := linearPartition(chunkCost, s.workers)
+	s.queues = make([]workQueue, s.workers)
+	start = 0
+	for wi, end := range wEnds {
+		for c := start; c < end; c++ {
+			s.queues[wi].chunks = append(s.queues[wi].chunks, int32(c))
+		}
+		start = end
+	}
+}
+
+// repartition rebuilds the chunk layout from the activity measured since the
+// last build. Called between Step rounds with every queue drained (the
+// serial section stopped the workers at a cycle boundary); activateAll
+// re-arms the fresh shards' scheduler state — spurious ticks of quiescent
+// components are no-ops, so results are unchanged.
+func (s *Simulator) repartition() {
+	s.rebuildPartition(s.measuredCosts())
+	s.costBase = s.tileActivity()
+	if !s.dense {
+		s.activateAll()
 	}
 }
 

@@ -25,7 +25,12 @@ const Magic = "NOCSNAP1"
 // Version is the checkpoint format version this binary reads and writes.
 // Bump it on ANY change to the encoding walk, then regenerate the golden
 // file under internal/sim/testdata (see TestCheckpointGolden).
-const Version = 1
+//
+// Version 2: snapshots became partition-agnostic. The header's structural
+// key no longer encodes the stepping layout (worker count, stealing mode),
+// and the legacy shard-count field is pinned to 1, so one image restores
+// under any worker count.
+const Version = 2
 
 // ErrFormat tags every decode error produced by this package.
 var ErrFormat = errors.New("snapshot: invalid checkpoint")
