@@ -3,14 +3,16 @@
 # (fast fail), the full test suite under the race detector (which includes
 # the skewed-hotspot and barrier stress oracles), the shard-scaling smoke
 # gate (a 2-worker stealing run must reproduce the sequential stepper byte
-# for byte on the skewed corner-hotspot workload), and a smoke run of the
-# perf harness (micro-benchmarks plus the sharded-vs-sequential and bursty
-# dense/event/sharded byte-equality gates, regression-gated; the full
-# harness writing BENCH_7.json is `make bench`).
+# for byte on the skewed corner-hotspot workload), the analytic-model smoke
+# gate (closed-form estimates cross-checked against short simulated runs,
+# plus the golden-scenario and divergence-oracle unit tests), and a smoke
+# run of the perf harness (micro-benchmarks plus the sharded-vs-sequential
+# and bursty dense/event/sharded byte-equality gates, regression-gated; the
+# full harness writing BENCH_8.json is `make bench`).
 
 GO ?= go
 
-.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke profile ci
+.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke estimate-smoke profile ci
 
 all: build
 
@@ -38,8 +40,8 @@ fork-race:
 # comparison (including the bursty router-timed-wake scenario and its
 # byte-equality gate), the sharded-stepper sweep (with its sequential
 # byte-equality gate), the checkpoint-fork warmup-amortization point, and
-# the sequential-vs-parallel figure sweep, written to BENCH_5.json for
-# before/after comparison.
+# the sequential-vs-parallel figure sweep, and the analytic-model divergence
+# record, written to BENCH_8.json for before/after comparison.
 bench:
 	$(GO) run ./cmd/bench
 
@@ -56,6 +58,14 @@ bench-smoke:
 shard-scaling-smoke:
 	$(GO) run ./cmd/bench -scaling-smoke
 
+# The analytic-model gate: cross-check the closed-form estimator against
+# short simulated runs of the profile-driven stepper scenarios (fatal beyond
+# the loose oracle band or on a structurally dead tile), then run the golden
+# calibration scenarios and the divergence-oracle mutation test.
+estimate-smoke:
+	$(GO) run ./cmd/bench -estimate-smoke
+	$(GO) test -run 'TestGolden|TestOracle' ./internal/analytic
+
 # Profile the harness itself: a quick pass with CPU and heap profiles written
 # next to the repo, ready for `go tool pprof cpu.pprof`. See ARCHITECTURE.md
 # ("Profiling workflow") for how to read the output.
@@ -64,4 +74,4 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
-ci: vet build fork-race race shard-scaling-smoke bench-smoke
+ci: vet build fork-race race shard-scaling-smoke estimate-smoke bench-smoke

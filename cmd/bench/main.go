@@ -21,18 +21,22 @@
 //   - the wall time of a Figure-11 style sweep (three workloads, three
 //     systems each, plus alone runs) executed sequentially and on the
 //     runner's parallel worker pool,
+//   - the analytic model's divergence against the simulator (relative error
+//     per latency leg on the profile-driven stepper scenarios, via
+//     internal/analytic's CrossCheck oracle),
 //
 // and writes everything as JSON for before/after comparison across commits.
 //
 // Usage:
 //
-//	bench                     # full harness -> BENCH_7.json
+//	bench                     # full harness -> BENCH_8.json
 //	bench -out -              # JSON to stdout
 //	bench -quick              # smaller op counts (CI smoke)
 //	bench -skip-sweep         # micro + stepper benchmarks only
 //	bench -shards 1,2,4       # worker counts for the sharded-stepper sweep
 //	bench -steal=off          # disable intra-cycle work stealing (bisection)
 //	bench -scaling-smoke      # shard-scaling byte-equality gate only (CI)
+//	bench -estimate-smoke     # analytic-model cross-check gate only (CI)
 //	bench -check BENCH_1.json # fail on regression vs a stored report
 //	bench -cpuprofile cpu.out # write a CPU profile of the whole run
 //	bench -memprofile mem.out # write a heap profile at exit
@@ -52,11 +56,13 @@ import (
 	"testing"
 	"time"
 
+	"nocmem/internal/analytic"
 	"nocmem/internal/config"
 	"nocmem/internal/exp"
 	"nocmem/internal/forkrun"
 	"nocmem/internal/noc"
 	"nocmem/internal/sim"
+	"nocmem/internal/stats"
 	"nocmem/internal/trace"
 	"nocmem/internal/workload"
 )
@@ -158,6 +164,24 @@ type drainResult struct {
 	TickedCycles  int64  `json:"event_ticked_cycles"`
 }
 
+// estimateResult is one point of the analytic-model divergence record: the
+// closed-form estimate (internal/analytic) of one stepper scenario checked
+// against the simulated run. LegRelErr holds the off-chip-weighted relative
+// error of the five latency legs (L1->L2, L2->MC, memory, MC->L2, L2->L1);
+// InBand reports whether every leg sits within the calibrated band the golden
+// tests pin. A scenario beyond the much looser oracle band (or with a
+// structural dead-tile flag) fails the harness outright — that is simulator
+// or model breakage, not drift.
+type estimateResult struct {
+	Name        string                 `json:"name"`
+	LegRelErr   [stats.NumLegs]float64 `json:"leg_rel_err"`
+	TotalRelErr float64                `json:"total_rel_err"`
+	NetRelErr   float64                `json:"net_rel_err"`
+	MaxLegErr   float64                `json:"max_leg_err"`
+	Band        float64                `json:"band"`
+	InBand      bool                   `json:"within_calibrated_band"`
+}
+
 type report struct {
 	GoVersion  string          `json:"go_version"`
 	NumCPU     int             `json:"num_cpu"`
@@ -171,7 +195,10 @@ type report struct {
 	// 1/2/4/8 x balanced/skewed/bursty workloads x 8x8 and 16x16 meshes.
 	ShardScaling []scalingResult `json:"shard_scaling,omitempty"`
 	Fork         *forkResult     `json:"fork_amortization,omitempty"`
-	Sweep        []sweepResult   `json:"sweep,omitempty"`
+	// Estimate records the analytic model's divergence per scenario so drift
+	// across commits is visible in before/after report diffs.
+	Estimate []estimateResult `json:"estimate,omitempty"`
+	Sweep    []sweepResult    `json:"sweep,omitempty"`
 	// SweepSpeedup is sequential seconds / parallel seconds. It only
 	// measures parallelism when the worker pool actually has more than one
 	// worker; SweepSpeedupValid records whether it does, so a ~1.0 ratio on
@@ -194,12 +221,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out          = flag.String("out", "BENCH_7.json", "output file ('-' = stdout)")
+		out          = flag.String("out", "BENCH_8.json", "output file ('-' = stdout)")
 		quick        = flag.Bool("quick", false, "smaller op counts (CI smoke run)")
 		skipSweep    = flag.Bool("skip-sweep", false, "skip the runner-pool sweep")
 		shards       = flag.String("shards", "1,2,4", "comma-separated worker counts for the sharded-stepper sweep ('' = skip)")
 		steal        = flag.String("steal", "on", "intra-cycle work stealing in sharded runs: on|off (bisection escape hatch)")
 		scalingSmoke = flag.Bool("scaling-smoke", false, "run only the shard-scaling byte-equality gate, then exit (CI)")
+		estSmoke     = flag.Bool("estimate-smoke", false, "run only the analytic-model cross-check gate, then exit (CI)")
 		check        = flag.String("check", "", "stored report to gate against (fail on alloc or >20% ns/op regression)")
 		minSpeedup   = flag.Float64("min-stepper-speedup", 0.95, "fail when any stepper scenario's event-vs-dense speedup drops below this (0 = off)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -217,6 +245,11 @@ func main() {
 	if *scalingSmoke {
 		scalingEqualityGate(true)
 		log.Printf("shard-scaling smoke gate passed")
+		return
+	}
+	if *estSmoke {
+		estimateCrossChecks(true)
+		log.Printf("estimate smoke gate passed")
 		return
 	}
 
@@ -334,6 +367,8 @@ func main() {
 	}
 
 	rep.Fork = forkAmortization(*quick)
+
+	rep.Estimate = estimateCrossChecks(*quick)
 
 	if !*skipSweep {
 		runSweep(&rep, *quick)
@@ -679,6 +714,68 @@ func stepperBenches(quick bool) []stepperResult {
 	var out []stepperResult
 	for _, wl := range stepperWorkloads() {
 		out = append(out, measureStepper(wl, warm))
+	}
+	return out
+}
+
+// estimateCrossChecks runs the analytic model's divergence oracle on every
+// profile-driven stepper scenario: simulate, predict the same configuration
+// in closed form, and record the per-leg relative error. The synthetic
+// bursty scenario is skipped — its hand-built sources have no workload
+// profile the model could read. Scenarios beyond the calibrated band are
+// logged (drift worth investigating, and visible in the JSON diff); a
+// scenario beyond the far looser oracle band, or with a structural dead-tile
+// flag, kills the harness — at that distance the divergence means breakage,
+// not calibration drift.
+func estimateCrossChecks(quick bool) []estimateResult {
+	warm, measure := int64(50_000), int64(150_000)
+	if quick {
+		warm, measure = 20_000, 60_000
+	}
+	var out []estimateResult
+	for _, wl := range stepperWorkloads() {
+		if wl.srcs != nil {
+			continue
+		}
+		cfg := wl.cfg
+		cfg.Run.WarmupCycles, cfg.Run.MeasureCycles = warm, measure
+		log.Printf("estimate cross-check %s...", wl.name)
+		s, err := sim.New(cfg, wl.apps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := analytic.CrossCheck(cfg, wl.apps, s.Run().Summary(), analytic.CalibratedBand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := estimateResult{
+			Name:        wl.name,
+			TotalRelErr: rep.Total.RelErr,
+			NetRelErr:   rep.Net.RelErr,
+			MaxLegErr:   rep.MaxLegErr,
+			Band:        rep.Band,
+			InBand:      rep.InBand(),
+		}
+		for i, l := range rep.Legs {
+			res.LegRelErr[i] = l.RelErr
+		}
+		for _, f := range rep.Flags {
+			if f.Kind == "dead-tile" {
+				log.Fatalf("estimate %s: %s %s: %s", wl.name, f.Tile, f.App, f.Detail)
+			}
+		}
+		if rep.MaxLegErr > analytic.OracleBand {
+			log.Fatalf("estimate %s: max leg error %.0f%% beyond the %.0f%% oracle band — model or simulator is broken, not drifting",
+				wl.name, 100*rep.MaxLegErr, 100*analytic.OracleBand)
+		}
+		if !res.InBand {
+			log.Printf("estimate %s: outside the %.0f%% calibrated band (recorded, not fatal)",
+				wl.name, 100*rep.Band)
+			for _, f := range rep.Flags {
+				log.Printf("estimate %s: %s: %s", wl.name, f.Kind, f.Detail)
+			}
+		}
+		out = append(out, res)
 	}
 	return out
 }

@@ -8,12 +8,15 @@
 //	sweep -what threshold -workload 7
 //	sweep -what history -workload 1
 //	sweep -what vcs -workload 8
+//	sweep -what vcs -workload 8 -estimate            # closed-form, no simulation
+//	sweep -what buffers -workload 7 -prune-estimate 0.005
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"text/tabwriter"
 
@@ -21,6 +24,13 @@ import (
 	"nocmem/internal/config"
 	"nocmem/internal/par"
 )
+
+// point is one sweep point: a label for the table and the full configuration
+// to evaluate (simulated or estimated).
+type point struct {
+	label string
+	cfg   nocmem.Config
+}
 
 func main() {
 	log.SetFlags(0)
@@ -34,10 +44,18 @@ func main() {
 		shards  = flag.Int("shards", 1, "worker goroutines per simulation (results are identical at any count)")
 		steal   = flag.String("steal", "on", "intra-cycle work stealing in sharded runs: on|off (bisection escape hatch)")
 		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across compatible sweep points (faster; scheme points then warm up under the baseline policy)")
+		est     = flag.Bool("estimate", false, "answer the whole sweep from the closed-form analytic model instead of simulating")
+		prune   = flag.Float64("prune-estimate", 0, "skip sweep points whose estimated |normalized WS delta| vs the first point is below this threshold (0 = run everything)")
 	)
 	flag.Parse()
 	if *steal != "on" && *steal != "off" {
 		log.Fatalf("bad -steal value %q (want on or off)", *steal)
+	}
+	if *est && *prune != 0 {
+		log.Fatal("-estimate and -prune-estimate are mutually exclusive: -estimate never simulates, so there is nothing to prune")
+	}
+	if *prune < 0 {
+		log.Fatalf("bad -prune-estimate threshold %g (want >= 0)", *prune)
 	}
 	nocmem.SetParallelism(*jobs)
 	nocmem.SetShareWarmup(*fork)
@@ -53,10 +71,6 @@ func main() {
 	base.Run.NoSteal = *steal == "off"
 	base.S1.UpdatePeriod = *measure / 15
 
-	type point struct {
-		label string
-		cfg   nocmem.Config
-	}
 	var points []point
 	switch *what {
 	case "threshold":
@@ -136,6 +150,40 @@ func main() {
 
 	fmt.Printf("sweep %s on %s (%s)\n", *what, w.Name(), w.Category)
 
+	if *est {
+		runEstimatedSweep(points, w)
+		return
+	}
+
+	// -prune-estimate skips cycle-accurate points whose estimated normalized
+	// WS sits within threshold of the first point's estimate: the model says
+	// the knob does not move the headline number there, so the expensive
+	// simulation buys nothing. Point 0 always runs (it anchors the deltas),
+	// and every pruned point is logged so nothing disappears silently.
+	skipped := make([]bool, len(points))
+	var profiles []nocmem.Profile
+	if *prune > 0 {
+		var err error
+		if profiles, err = w.Profiles(); err != nil {
+			log.Fatal(err)
+		}
+		norms := make([]float64, len(points))
+		for i, pt := range points {
+			n, err := estimatedNorm(pt.cfg, profiles)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norms[i] = n
+		}
+		for i := 1; i < len(points); i++ {
+			if delta := norms[i] - norms[0]; math.Abs(delta) < *prune {
+				skipped[i] = true
+				log.Printf("pruned %s: estimated normalized WS %.4f, delta %+.4f vs %s below threshold %g",
+					points[i].label, norms[i], delta, points[0].label, *prune)
+			}
+		}
+	}
+
 	// Every sweep point is an independent pair of simulations, so points run
 	// concurrently on a bounded pool; rows are printed afterwards in sweep
 	// order. Each point's goroutine holds its pool slot for its whole body,
@@ -147,6 +195,9 @@ func main() {
 	rows := make([]row, len(points))
 	g := par.NewGroup(nocmem.Parallelism())
 	for i, pt := range points {
+		if skipped[i] {
+			continue
+		}
 		g.Go(func() error {
 			// The base run differs when the sweep changes the substrate
 			// (MCs, pipeline, VCs, buffers), so recompute it per point.
@@ -172,6 +223,23 @@ func main() {
 				s1Pct:  100 * float64(res.S1Tagged) / float64(res.S1Checked+1),
 				s2Pct:  100 * float64(res.S2Tagged) / float64(res.S2Checked+1),
 			}
+			if *prune > 0 {
+				// Divergence oracle: when the model is trusted to prune, check
+				// it against every point that did simulate, so a broken run
+				// (or a drifting model) announces itself instead of silently
+				// steering the sweep.
+				rep, err := nocmem.CrossCheckRun(pt.cfg, profiles, res, nocmem.EstimateOracleBand)
+				if err != nil {
+					return err
+				}
+				if !rep.InBand() {
+					log.Printf("divergence at %s: max leg error %.0f%% (band %.0f%%)",
+						pt.label, 100*rep.MaxLegErr, 100*rep.Band)
+					for _, f := range rep.Flags {
+						log.Printf("divergence at %s: %s %s %s: %s", pt.label, f.Kind, f.Tile, f.App, f.Detail)
+					}
+				}
+			}
 			return nil
 		})
 	}
@@ -182,8 +250,53 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "point\tnormalized WS\tnet avg\ts1 tag%%\ts2 tag%%\n")
 	for i, pt := range points {
+		if skipped[i] {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\n", pt.label)
+			continue
+		}
 		r := rows[i]
 		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, r.norm, r.netAvg, r.s1Pct, r.s2Pct)
+	}
+	tw.Flush()
+}
+
+// estimatedNorm is the model's normalized weighted speedup for one sweep
+// point: estimated WS under cfg over estimated WS with both schemes off on
+// the same substrate. Both sides come from the model, so its absolute bias
+// divides out.
+func estimatedNorm(cfg nocmem.Config, apps []nocmem.Profile) (float64, error) {
+	ws, err := nocmem.EstimatedWeightedSpeedup(cfg, apps)
+	if err != nil {
+		return 0, err
+	}
+	baseWS, err := nocmem.EstimatedWeightedSpeedup(cfg.WithSchemes(false, false), apps)
+	if err != nil {
+		return 0, err
+	}
+	return ws / baseWS, nil
+}
+
+// runEstimatedSweep prints the sweep table straight from the closed-form
+// model, one estimate per point, without simulating a single cycle.
+func runEstimatedSweep(points []point, w nocmem.Workload) {
+	apps, err := w.Profiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("estimated (closed-form model, no simulated cycles)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "point\tnormalized WS\tnet avg\ts1 tag%%\ts2 tag%%\n")
+	for _, pt := range points {
+		e, err := nocmem.EstimateApps(pt.cfg, apps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm, err := estimatedNorm(pt.cfg, apps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n",
+			pt.label, norm, e.NetLatency, 100*e.S1TaggedFrac, 100*e.S2TaggedFrac)
 	}
 	tw.Flush()
 }

@@ -1,0 +1,554 @@
+// Package analytic is the closed-form companion of the cycle-accurate
+// simulator: a queueing-network estimator that maps a config.Config plus the
+// workload's intensity profiles to per-application IPC and the five per-leg
+// latencies of Figure 2 — in microseconds instead of seconds, without
+// executing a single simulated cycle.
+//
+// The model follows Mandal et al. ("Analytical Performance Models for NoCs
+// with Multiple Priority Traffic Classes"): mesh routers are priority queues
+// whose high class is the Scheme-1/2-tagged traffic, and each DRAM bank is an
+// M/D/1 server with a row-hit/row-miss service split (the parallelism-aware
+// DRAM treatment of Yun et al.). A damped fixed-point iteration couples the
+// per-app IPC to the queueing delays its own traffic induces:
+//
+//	IPC -> miss arrival rates -> link/bank utilization -> queueing delays
+//	    -> per-leg latency -> effective stall per instruction -> IPC
+//
+// Accuracy is calibrated against the simulator on the canonical scenarios
+// (alone, saturated, mixed, schemes on/off, 8x8 and 16x16 meshes) and pinned
+// by the golden tests in this package; see calib.go for the constants and
+// ARCHITECTURE.md for assumptions and known-bad regimes.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"nocmem/internal/config"
+	"nocmem/internal/stats"
+	"nocmem/internal/trace"
+)
+
+// AppEstimate is the model's prediction for one application.
+type AppEstimate struct {
+	Tile string
+	App  string
+
+	IPC float64
+	MLP float64 // average outstanding L1 misses (Little's law)
+
+	// Legs are the predicted per-leg delays of an off-chip access, in CPU
+	// cycles — the same five paths sim.AppSummary.Legs reports.
+	Legs  [stats.NumLegs]float64
+	Total float64 // sum of Legs: mean end-to-end off-chip latency
+
+	WarmLatency float64 // mean L1-miss/L2-hit round trip
+
+	OffChipRate float64 // off-chip demand reads per cycle
+	L2HitRate   float64 // L2-hit demand accesses per cycle
+
+	tile int
+	prof trace.Profile
+}
+
+// Estimate is the closed-form prediction for one full configuration.
+type Estimate struct {
+	Cfg  config.Config
+	Apps []AppEstimate
+
+	// MCQueueDelay is the mean DRAM bank queueing delay per request beyond
+	// the fixed controller latency, in CPU cycles.
+	MCQueueDelay float64
+	// MCServiceTime is the mean DRAM access time (row-hit/miss weighted
+	// plus burst), in CPU cycles.
+	MCServiceTime float64
+	RowHitRate    float64
+
+	// NetLatency is the packet-weighted mean network traversal latency,
+	// mirroring sim's Net.AvgLatency.
+	NetLatency float64
+	// LinkUtilization is the mean directed-link flit utilization.
+	LinkUtilization float64
+
+	S1TaggedFrac float64
+	S2TaggedFrac float64
+
+	Iterations int
+
+	pktRate float64 // network packets injected per cycle
+}
+
+// Predict runs the fixed-point model. apps[i] is the profile on tile i
+// (missing or empty-name entries leave the tile idle), exactly as
+// sim.New/nocmem.RunApps lay out applications.
+func Predict(cfg config.Config, apps []trace.Profile) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("analytic: %w", err)
+	}
+	nodes := cfg.Mesh.Nodes()
+	if len(apps) > nodes {
+		return nil, fmt.Errorf("analytic: %d applications for %d tiles", len(apps), nodes)
+	}
+	for i, p := range apps {
+		if p.Name == "" {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("analytic: tile %d: %w", i, err)
+		}
+	}
+
+	e := &Estimate{Cfg: cfg}
+	for i, p := range apps {
+		if p.Name == "" {
+			continue
+		}
+		e.Apps = append(e.Apps, AppEstimate{
+			Tile: fmt.Sprintf("%d (%d,%d)", i, i%cfg.Mesh.Width, i/cfg.Mesh.Width),
+			App:  p.Name,
+			tile: i,
+			prof: p,
+		})
+	}
+	if len(e.Apps) == 0 {
+		return e, nil
+	}
+
+	m := newModel(cfg, e.Apps)
+	m.solve(e)
+	return e, nil
+}
+
+// model carries the geometry and derived constants of one prediction.
+type model struct {
+	cfg config.Config
+	c   Calibration
+
+	hopLat   float64   // per-hop header pipeline latency, CPU cycles
+	h1       []float64 // per app: mean hops tile -> uniform L2 bank
+	h2       float64   // mean hops uniform tile -> owning MC corner
+	links    float64   // directed mesh links
+	respFl   float64   // flits of a data-bearing message
+	banks    float64   // total DRAM banks
+	ctls     float64   // memory controllers
+	interlvd float64   // per-controller lines sharing one bank consecutively
+}
+
+func newModel(cfg config.Config, apps []AppEstimate) *model {
+	m := &model{
+		cfg:      cfg,
+		c:        DefaultCalibration,
+		hopLat:   float64(cfg.NoC.Pipeline),
+		respFl:   float64(cfg.ResponseFlits()),
+		banks:    float64(cfg.DRAM.Controllers * cfg.DRAM.BanksPerCtl),
+		ctls:     float64(cfg.DRAM.Controllers),
+		interlvd: float64(cfg.DRAM.BankInterleaveLines),
+	}
+	w, h := cfg.Mesh.Width, cfg.Mesh.Height
+	m.links = float64(2*(w-1)*h + 2*(h-1)*w)
+
+	// Mean XY hop counts. The S-NUCA interleave spreads lines uniformly
+	// over all tiles, and the controller interleave spreads off-chip lines
+	// uniformly over the corner MCs, so both are exact expectations.
+	hop := func(a, b int) float64 {
+		ax, ay := a%w, a/w
+		bx, by := b%w, b/w
+		return math.Abs(float64(ax-bx)) + math.Abs(float64(ay-by))
+	}
+	nodes := cfg.Mesh.Nodes()
+	m.h1 = make([]float64, len(apps))
+	for ai, a := range apps {
+		var sum float64
+		for d := 0; d < nodes; d++ {
+			sum += hop(a.tile, d)
+		}
+		m.h1[ai] = sum / float64(nodes)
+	}
+	var sum float64
+	for t := 0; t < nodes; t++ {
+		for _, mc := range cfg.MCNodes() {
+			sum += hop(t, mc)
+		}
+	}
+	m.h2 = sum / float64(nodes*len(cfg.MCNodes()))
+	return m
+}
+
+// solve runs the damped fixed-point iteration to convergence.
+func (m *model) solve(e *Estimate) {
+	cfg := m.cfg
+	apps := e.Apps
+	mult := float64(cfg.DRAM.BusMultiplier)
+
+	// Per-instruction rates are fixed by the profiles; only IPC iterates.
+	mpi := make([]float64, len(apps)) // off-chip misses / instruction
+	wpi := make([]float64, len(apps)) // L2 hits / instruction
+	for i, a := range apps {
+		mpi[i] = a.prof.MPKI / 1000
+		wpi[i] = a.prof.WarmAPKI / 1000
+		apps[i].IPC = 1 // starting guess
+	}
+
+	var it int
+	for it = 0; it < m.c.MaxIterations; it++ {
+		// --- Arrival rates from the current IPC guesses ---
+		var lamRead, lamWrite, lamWarm float64 // per cycle, system-wide
+		miss := make([]float64, len(apps))
+		warm := make([]float64, len(apps))
+		for i, a := range apps {
+			miss[i] = a.IPC * mpi[i]
+			warm[i] = a.IPC * wpi[i]
+			lamRead += miss[i]
+			lamWarm += warm[i]
+			lamWrite += miss[i] * a.prof.StoreFrac
+		}
+
+		// --- Network: link utilization and per-hop queueing ---
+		// Flit-hops per cycle over all directed links. Demand traffic:
+		// request (1 flit) tile->bank, request bank->MC, response (R
+		// flits) MC->bank, response bank->tile; warm traffic: request +
+		// response tile<->bank; writebacks ride the request vnet with R
+		// flits (L1->L2 at the store rate of all misses, L2->MC at the
+		// off-chip store rate).
+		var flitHops float64
+		h1bar := 0.0
+		for i := range apps {
+			h1 := m.h1[i]
+			h1bar += h1 * (miss[i] + warm[i])
+			flitHops += miss[i] * (h1 + m.h2 + m.respFl*(m.h2+h1))
+			flitHops += warm[i] * (h1 + m.respFl*h1)
+			wb := (miss[i] + warm[i]) * a0(apps[i].prof.StoreFrac)
+			flitHops += wb * m.respFl * h1                                 // L1 dirty evictions
+			flitHops += miss[i] * apps[i].prof.StoreFrac * m.respFl * m.h2 // DRAM writes
+		}
+		if t := lamRead + lamWarm; t > 0 {
+			h1bar /= t
+		}
+		util := flitHops / m.links
+		uEff := math.Min(m.c.HotChannelFactor*util, m.c.MaxUtilization)
+
+		// Priority classes (Mandal et al.): the tagged traffic is the
+		// high class, split per virtual network — Scheme-2 tags requests,
+		// Scheme-1 tags responses, so each vnet carries only its own
+		// high-class share. Estimate the tagged fractions from the
+		// current latency state, then split the per-hop M/G/1 wait.
+		s1Frac, s2Frac := m.taggedFractions(apps, miss)
+		reqHigh := 0.0
+		respHigh := 0.0
+		if cfg.S2.Enabled {
+			reqHigh += m.c.S2HighShare * s2Frac
+		}
+		if cfg.S1.Enabled {
+			respHigh += m.c.S1HighShare * s1Frac
+		}
+		if cfg.AppAwareNet {
+			reqHigh += 0.5
+			respHigh += 0.5
+		}
+		// Mean serialization of a packet on a link, flit cycles. The
+		// request virtual network also absorbs MSHR backpressure and the
+		// multi-flit writeback traffic, so its queueing weight is fitted
+		// separately (and higher) than the response network's.
+		sBar := m.c.HopService
+		mix := func(qw, tagFrac, highShare float64, tagged bool) float64 {
+			rhoH := uEff * math.Min(highShare, 0.9)
+			wHigh := qw * sBar * uEff / (1 - rhoH)
+			wLow := qw * sBar * uEff / ((1 - rhoH) * (1 - uEff))
+			if cfg.AppAwareNet {
+				return 0.5*wHigh + 0.5*wLow
+			}
+			if !tagged {
+				return wLow
+			}
+			return tagFrac*wHigh + (1-tagFrac)*wLow
+		}
+		wReq := mix(m.c.ReqQueueWeight, s2Frac, reqHigh, cfg.S2.Enabled)
+		wResp := mix(m.c.RespQueueWeight, s1Frac, respHigh, cfg.S1.Enabled)
+		// Scheme-2 spreads requests toward idle banks, which thins the
+		// head-of-line blocking on the controller approach links; the
+		// simulator's mean L2->MC leg drops accordingly. Applied to that
+		// leg only (the L1->L2 leg does not approach the controllers).
+		wReqMC := wReq
+		if cfg.S2.Enabled {
+			wReqMC = wReq * (1 - m.c.S2Relief*s2Frac)
+		}
+
+		// --- L2 bank acceptance (one request per cycle per bank) ---
+		// Demand requests, fills, and writebacks all pass the pipeline.
+		l2Arr := (2*lamRead + lamWarm + (lamRead+lamWarm)*storeBar(apps, miss, warm)) / float64(cfg.Mesh.Nodes())
+		l2Arr = math.Min(l2Arr, m.c.MaxUtilization)
+		wL2 := l2Arr / (2 * (1 - l2Arr)) * m.c.L2QueueWeight
+		// The L1->L2 leg is stamped at inbox dispatch, so it absorbs the
+		// bank front-end contention of MLP-clumped arrivals. The wait is
+		// burst-dominated: it saturates once the banks see steady clumped
+		// traffic instead of growing with the mean arrival rate.
+		wFrontEnd := m.c.L2FrontEndMax * (1 - math.Exp(-l2Arr/m.c.L2FrontEndScale))
+
+		// --- DRAM banks: M/D/1 with row-hit/miss service split ---
+		pHit := m.rowHitRate(apps, miss, lamRead+lamWrite)
+		accessHit := float64(cfg.DRAM.TCAS) * mult
+		accessIdle := float64(cfg.DRAM.TActivate+cfg.DRAM.TCAS) * mult
+		accessConf := float64(cfg.DRAM.TPrecharge+cfg.DRAM.TActivate+cfg.DRAM.TCAS) * mult
+		burst := float64(cfg.DRAM.TBurst) * mult
+
+		lamBank := (lamRead + lamWrite) / m.banks
+		// Open-page steady state: a row miss finds the previous row still
+		// open (conflict: precharge + activate) unless the bank sat
+		// untouched across a refresh, which closes it (idle: activate
+		// only). The idle probability is the chance of fewer than one
+		// arrival per refresh period at the bank.
+		pIdle := 0.0
+		if cfg.DRAM.RefreshPeriod > 0 {
+			pIdle = math.Exp(-lamBank * float64(cfg.DRAM.RefreshPeriod))
+		}
+		accessMiss := pIdle*accessIdle + (1-pIdle)*accessConf
+		sAccess := pHit*accessHit + (1-pHit)*accessMiss
+		occ := sAccess + burst
+		rhoBank := math.Min(lamBank*occ, m.c.MaxUtilization)
+		wqBank := m.c.BankQueueWeight * rhoBank * occ / (2 * (1 - rhoBank))
+		// Shared channel bus per controller.
+		rhoBus := math.Min((lamRead+lamWrite)/m.ctls*burst, m.c.MaxUtilization)
+		wqBus := rhoBus * burst / (2 * (1 - rhoBus))
+		// The queue wait runs concurrently with the fixed controller
+		// readiness latency; only the excess is visible.
+		ctl := float64(cfg.DRAM.CtlLatency)
+		memWait := ctl + softExcess(wqBank+wqBus, ctl)
+		memLeg := memWait + sAccess + burst + m.c.MemFixed
+
+		// --- Per-leg latencies and the IPC update ---
+		maxDelta := 0.0
+		for i := range apps {
+			h1 := m.h1[i]
+			legs := [stats.NumLegs]float64{
+				stats.LegL1ToL2: float64(cfg.L1.Latency) + h1*(m.hopLat+wReq) + wFrontEnd + m.c.Leg1Fixed,
+				stats.LegL2ToMC: float64(cfg.L2.Latency) + wL2 + m.h2*(m.hopLat+wReqMC) + m.c.Leg2Fixed,
+				stats.LegMemory: memLeg,
+				stats.LegMCToL2: m.h2*(m.hopLat+wResp) + (m.respFl - 1) + m.c.Leg4Fixed,
+				stats.LegL2ToL1: float64(cfg.L2.Latency) + wL2 + h1*(m.hopLat+wResp) + (m.respFl - 1) + m.c.Leg5Fixed,
+			}
+			total := 0.0
+			for _, v := range legs {
+				total += v
+			}
+			// Warm round trips overlap queueing much better than
+			// off-chip misses (short, pipelined, no DRAM leg), so only
+			// a fraction of the contention delay is exposed.
+			warmLat := float64(cfg.L1.Latency) + float64(cfg.L2.Latency) +
+				h1*2*m.hopLat + (m.respFl - 1) + m.c.WarmFixed +
+				m.c.WarmQueueShare*(h1*(wReq+wResp)+2*wL2+wFrontEnd)
+
+			p := apps[i].prof
+			wEff := math.Min(float64(cfg.CPU.WindowSize), float64(cfg.CPU.LSQSize)/p.MemFrac)
+			mlpMem := clamp(m.c.MLPBoost*wEff*mpi[i], 1, float64(cfg.CPU.MaxOutMiss))
+			mlpWarm := clamp(m.c.MLPBoost*wEff*wpi[i], 1, float64(cfg.CPU.MaxOutMiss))
+			// A burst of mlpMem misses serializes at the core's single
+			// injection port; the mean request waits behind half of it.
+			legs[stats.LegL1ToL2] += m.c.SelfInjBurst * (mlpMem - 1)
+			total += m.c.SelfInjBurst * (mlpMem - 1)
+			cpi := 1/float64(cfg.CPU.Width) + m.c.BaseCPI +
+				mpi[i]*total/mlpMem + wpi[i]*warmLat/mlpWarm
+			ipc := math.Min(float64(cfg.CPU.Width), 1/cpi)
+
+			next := (1-m.c.Damping)*apps[i].IPC + m.c.Damping*ipc
+			if d := math.Abs(next - apps[i].IPC); d > maxDelta {
+				maxDelta = d
+			}
+			apps[i].IPC = next
+			apps[i].Legs = legs
+			apps[i].Total = total
+			apps[i].WarmLatency = warmLat
+			apps[i].OffChipRate = apps[i].IPC * mpi[i]
+			apps[i].L2HitRate = apps[i].IPC * wpi[i]
+			apps[i].MLP = math.Min(
+				apps[i].IPC*(mpi[i]*total+wpi[i]*warmLat),
+				float64(cfg.CPU.MaxOutMiss))
+		}
+
+		e.MCQueueDelay = wqBank + wqBus
+		e.MCServiceTime = sAccess + burst
+		e.RowHitRate = pHit
+		e.LinkUtilization = util
+		e.S1TaggedFrac = 0
+		e.S2TaggedFrac = 0
+		if cfg.S1.Enabled {
+			e.S1TaggedFrac = s1Frac
+		}
+		if cfg.S2.Enabled {
+			e.S2TaggedFrac = s2Frac
+		}
+		e.NetLatency, e.pktRate = m.netLatency(apps, miss, warm, wReq, wResp)
+
+		if maxDelta < m.c.Tolerance {
+			it++
+			break
+		}
+	}
+	e.Iterations = it
+}
+
+// taggedFractions estimates which share of traffic the schemes expedite.
+//
+// Scheme-1 tags a response when its so-far delay at the MC exceeds
+// ThresholdFactor x the app's average round trip. Approximating the so-far
+// delay as a deterministic base plus an exponential queueing tail, the tail
+// probability is exp(-(tau-B)/Q).
+//
+// Scheme-2 tags a request when the injecting L2 tile sent fewer than
+// IdleThreshold requests to the target bank within HistoryWindow. The
+// history tables live at the L2 tiles and S-NUCA spreads every app's lines
+// across all of them, so one (tile, bank) pair sees the whole mesh's miss
+// traffic thinned by nodes x banks — a Poisson count gives the idle
+// probability. A streaming burst revisits the same pair while its bank
+// mapping holds, and only the first request of each revisit run finds the
+// pair idle.
+func (m *model) taggedFractions(apps []AppEstimate, miss []float64) (s1, s2 float64) {
+	var wSum, tagged1, tagged2 float64
+	var lamMiss float64
+	for i := range apps {
+		lamMiss += miss[i]
+	}
+	nodes := float64(m.cfg.Mesh.Nodes())
+	pairMu := lamMiss * float64(m.cfg.S2.HistoryWindow) / (nodes * m.banks)
+	pairIdle := poissonCDF(m.cfg.S2.IdleThreshold-1, pairMu)
+	for i, a := range apps {
+		if miss[i] <= 0 {
+			continue
+		}
+		// The queueing tail scale is a fraction of the memory leg (the
+		// rest of the trip is near-deterministic).
+		q := math.Max(m.c.S1TailScale*a.Legs[stats.LegMemory], 1)
+		// So-far delay is measured after DRAM; its mean is close to the
+		// full round trip minus the return legs. Threshold compares
+		// against the full-trip average.
+		tau := m.cfg.S1.ThresholdFactor * a.Total
+		soFarMean := a.Total - a.Legs[stats.LegMCToL2] - a.Legs[stats.LegL2ToL1]
+		var p1 float64
+		if tau <= soFarMean {
+			p1 = 1
+		} else {
+			p1 = math.Exp(-(tau - soFarMean) / q)
+		}
+		// A streaming burst returns to the same (tile, bank) pair every
+		// Nodes lines while its bank mapping holds, so the app's own
+		// predecessor suppresses the tag — but only if that revisit
+		// lands inside the lookback window.
+		ownMu := miss[i] * float64(m.cfg.S2.HistoryWindow) / nodes *
+			clamp(float64(a.prof.RowBurst)/nodes, 0, 1)
+		p2 := pairIdle * math.Exp(-ownMu)
+		tagged1 += miss[i] * p1
+		tagged2 += miss[i] * p2
+		wSum += miss[i]
+	}
+	if wSum == 0 {
+		return 0, 0
+	}
+	return tagged1 / wSum, tagged2 / wSum
+}
+
+// rowHitRate predicts the FR-FCFS row-buffer hit rate: each app's streaming
+// burst leaves a run of same-row accesses at one bank (the intrinsic hit
+// run), eroded by interfering row closures from the other apps' traffic to
+// the same bank.
+func (m *model) rowHitRate(apps []AppEstimate, miss []float64, lamTotal float64) float64 {
+	var wSum, hit float64
+	for i, a := range apps {
+		if miss[i] <= 0 {
+			continue
+		}
+		// Consecutive lines rotate controllers first, so a RowBurst-line
+		// stream leaves runs of RowBurst/ctls same-bank lines, capped by
+		// the bank-interleave granularity.
+		perCtl := math.Max(1, float64(a.prof.RowBurst)/m.ctls)
+		run := math.Min(perCtl, m.interlvd)
+		intrinsic := (run - 1) / run
+		// Two same-run accesses at a bank are separated by the app's
+		// stream round-robin and the controller rotation; any interfering
+		// access in that gap (other apps, or the app's own other
+		// streams) opens a different row and kills the hit.
+		streams := math.Max(float64(a.prof.Streams), 1)
+		gap := streams * m.ctls / math.Max(miss[i], 1e-9)
+		interferers := math.Max(lamTotal-miss[i]/streams, 0) / m.banks
+		survive := math.Exp(-m.c.RowInterference * interferers * gap)
+		p := intrinsic * survive
+		hit += miss[i] * p
+		wSum += miss[i]
+	}
+	if wSum == 0 {
+		return 0
+	}
+	return hit / wSum
+}
+
+// netLatency returns the packet-weighted mean network traversal time and the
+// total packet injection rate.
+func (m *model) netLatency(apps []AppEstimate, miss, warm []float64, wReq, wResp float64) (float64, float64) {
+	var pkts, lat float64
+	for i := range apps {
+		h1 := m.h1[i]
+		// request, req to MC, response, response to L1 / warm pair
+		add := func(rate, hops, flits, w float64) {
+			if rate <= 0 {
+				return
+			}
+			pkts += rate
+			lat += rate * (hops*(m.hopLat+w) + (flits - 1) + m.c.NetFixed)
+		}
+		add(miss[i], h1, 1, wReq)
+		add(miss[i], m.h2, 1, wReq)
+		add(miss[i], m.h2, m.respFl, wResp)
+		add(miss[i], h1, m.respFl, wResp)
+		add(warm[i], h1, 1, wReq)
+		add(warm[i], h1, m.respFl, wResp)
+		wb := (miss[i] + warm[i]) * apps[i].prof.StoreFrac
+		add(wb, h1, m.respFl, wReq)
+		add(miss[i]*apps[i].prof.StoreFrac, m.h2, m.respFl, wReq)
+	}
+	if pkts == 0 {
+		return 0, 0
+	}
+	return lat / pkts, pkts
+}
+
+// storeBar is the miss-weighted mean store fraction, used for the writeback
+// arrival estimate at the L2 banks.
+func storeBar(apps []AppEstimate, miss, warm []float64) float64 {
+	var w, s float64
+	for i, a := range apps {
+		t := miss[i] + warm[i]
+		w += t
+		s += t * a.prof.StoreFrac
+	}
+	if w == 0 {
+		return 0
+	}
+	return s / w
+}
+
+// softExcess returns how much of wait is expected to exceed the overlap
+// window, treating the wait as exponentially distributed: E[max(0, W-c)] =
+// wait * exp(-c/wait).
+func softExcess(wait, c float64) float64 {
+	if wait <= 0 {
+		return 0
+	}
+	return wait * math.Exp(-c/wait)
+}
+
+// poissonCDF returns P(N <= k) for N ~ Poisson(mu).
+func poissonCDF(k int, mu float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	term := math.Exp(-mu)
+	sum := term
+	for i := 1; i <= k; i++ {
+		term *= mu / float64(i)
+		sum += term
+	}
+	return math.Min(sum, 1)
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(v, hi)) }
+
+// a0 keeps a store fraction non-negative (profiles allow 0).
+func a0(v float64) float64 { return math.Max(v, 0) }

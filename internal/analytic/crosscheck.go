@@ -1,0 +1,175 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"nocmem/internal/config"
+	"nocmem/internal/sim"
+	"nocmem/internal/stats"
+	"nocmem/internal/trace"
+)
+
+// Band constants for CrossCheck. The calibrated band is what the golden
+// tests pin the model to on the canonical scenarios; the oracle band is
+// looser — it is a tripwire for simulator bugs (silently dead tiles, mangled
+// latency accounting), not a model-accuracy gate, so it must not fire on
+// ordinary model error in untuned corners of the config space.
+const (
+	// CalibratedBand is the per-leg relative error the model holds on the
+	// golden scenarios.
+	CalibratedBand = 0.25
+	// OracleBand is the divergence beyond which CrossCheck flags a leg as
+	// suspicious in sweeps and benchmarks.
+	OracleBand = 0.60
+)
+
+// LegError compares one latency component between model and simulator.
+type LegError struct {
+	Model  float64 `json:"model"`
+	Sim    float64 `json:"sim"`
+	RelErr float64 `json:"rel_err"`
+}
+
+// Flag is one suspicious divergence found by CrossCheck.
+type Flag struct {
+	Kind   string `json:"kind"` // "dead-tile", "leg", "total", "net"
+	Tile   string `json:"tile,omitempty"`
+	App    string `json:"app,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// Report is the outcome of one model-vs-simulator cross-check.
+type Report struct {
+	// Legs holds the off-chip-weighted aggregate per-leg comparison.
+	Legs  [stats.NumLegs]LegError `json:"legs"`
+	Total LegError                `json:"total"`
+	Net   LegError                `json:"net"`
+
+	MaxLegErr float64 `json:"max_leg_err"`
+	Band      float64 `json:"band"`
+	Flags     []Flag  `json:"flags,omitempty"`
+}
+
+// InBand reports whether every aggregate leg error is within the band and no
+// structural flag fired.
+func (r *Report) InBand() bool {
+	return r.MaxLegErr <= r.Band && len(r.Flags) == 0
+}
+
+// relErr is a bounded symmetric relative error: |a-b| over the larger
+// magnitude, so it lives in [0, 1] and treats model-high and model-low
+// divergence alike. Near-zero pairs compare equal.
+func relErr(a, b float64) float64 {
+	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-9)
+	if den < 1 { // both under a cycle: noise
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// CrossCheck predicts the configuration's behavior and compares it against a
+// simulated summary, flagging divergence beyond band (use OracleBand for
+// bug-tripwire checks, CalibratedBand for model-accuracy gates). apps is the
+// same tile->profile layout the simulation ran.
+func CrossCheck(cfg config.Config, apps []trace.Profile, s sim.Summary, band float64) (*Report, error) {
+	e, err := Predict(cfg, apps)
+	if err != nil {
+		return nil, err
+	}
+	return e.CrossCheck(s, band), nil
+}
+
+// CrossCheck compares an existing estimate against a simulated summary.
+func (e *Estimate) CrossCheck(s sim.Summary, band float64) *Report {
+	r := &Report{Band: band}
+
+	// Aggregate per-leg latencies, weighted by off-chip traffic on each
+	// side (sim by measured counts, model by predicted rates).
+	var simW, modW float64
+	var simLegs, modLegs [stats.NumLegs]float64
+	var simTotal, modTotal float64
+	simApps := make(map[string]sim.AppSummary, len(s.Apps))
+	for _, a := range s.Apps {
+		simApps[a.Tile] = a
+		w := float64(a.OffChip)
+		simW += w
+		for l, v := range a.Legs {
+			simLegs[l] += w * v
+			simTotal += w * v
+		}
+	}
+	for _, a := range e.Apps {
+		w := a.OffChipRate
+		modW += w
+		for l, v := range a.Legs {
+			modLegs[l] += w * v
+			modTotal += w * v
+		}
+	}
+	for l := range r.Legs {
+		var sv, mv float64
+		if simW > 0 {
+			sv = simLegs[l] / simW
+		}
+		if modW > 0 {
+			mv = modLegs[l] / modW
+		}
+		le := LegError{Model: mv, Sim: sv, RelErr: relErr(mv, sv)}
+		r.Legs[l] = le
+		if le.RelErr > r.MaxLegErr {
+			r.MaxLegErr = le.RelErr
+		}
+		if le.RelErr > band {
+			r.Flags = append(r.Flags, Flag{
+				Kind:   "leg",
+				Detail: fmt.Sprintf("%s: model %.0f vs sim %.0f cycles (%.0f%% apart)", stats.Leg(l), mv, sv, 100*le.RelErr),
+			})
+		}
+	}
+	var sv, mv float64
+	if simW > 0 {
+		sv = simTotal / simW
+	}
+	if modW > 0 {
+		mv = modTotal / modW
+	}
+	r.Total = LegError{Model: mv, Sim: sv, RelErr: relErr(mv, sv)}
+	r.Net = LegError{Model: e.NetLatency, Sim: s.NetAvgLatency, RelErr: relErr(e.NetLatency, s.NetAvgLatency)}
+	if r.Net.RelErr > band && s.NetDelivered > 0 {
+		r.Flags = append(r.Flags, Flag{
+			Kind:   "net",
+			Detail: fmt.Sprintf("network: model %.1f vs sim %.1f cycles (%.0f%% apart)", r.Net.Model, r.Net.Sim, 100*r.Net.RelErr),
+		})
+	}
+
+	// Structural checks per app: a tile the model expects to make visible
+	// progress but the simulator reports as silent is the signature of a
+	// truncation-style bug (tiles that never tick), not model error.
+	minCycles := float64(e.Cfg.Run.MeasureCycles)
+	for _, a := range e.Apps {
+		sa, ok := simApps[a.Tile]
+		if !ok {
+			r.Flags = append(r.Flags, Flag{
+				Kind: "dead-tile", Tile: a.Tile, App: a.App,
+				Detail: "tile missing from simulated summary",
+			})
+			continue
+		}
+		wantOffChip := a.OffChipRate * minCycles
+		if a.IPC > 0.01 && sa.IPC == 0 {
+			r.Flags = append(r.Flags, Flag{
+				Kind: "dead-tile", Tile: a.Tile, App: a.App,
+				Detail: fmt.Sprintf("model IPC %.2f but simulated IPC 0", a.IPC),
+			})
+			continue
+		}
+		if wantOffChip >= 50 && sa.OffChip == 0 {
+			r.Flags = append(r.Flags, Flag{
+				Kind: "dead-tile", Tile: a.Tile, App: a.App,
+				Detail: fmt.Sprintf("model expects ~%.0f off-chip accesses, simulator recorded 0", wantOffChip),
+			})
+		}
+	}
+	return r
+}

@@ -1,0 +1,63 @@
+package analytic_test
+
+import (
+	"testing"
+
+	"nocmem/internal/analytic"
+	"nocmem/internal/sim"
+)
+
+// TestOracleFlagsTruncatedTiles is the divergence oracle's mutation test: it
+// re-introduces the old allMask(64) active-set truncation (tiles >= 64 never
+// tick) behind the DebugTruncateActiveWords test hook and asserts the
+// model-vs-sim cross-check flags the silently dead tiles, while the same
+// scenario run cleanly raises no such flag. The oracle must separate "the
+// simulator silently lost tiles" from ordinary model error, so the truncated
+// run is checked at the loose OracleBand.
+func TestOracleFlagsTruncatedTiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle mutation test simulates a 16x16 mesh")
+	}
+	cfg, apps := mesh256()
+	cfg = shortRun(cfg, 20_000, 60_000)
+
+	run := func(truncate bool) *analytic.Report {
+		t.Helper()
+		s, err := sim.New(cfg, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truncate {
+			s.DebugTruncateActiveWords(1)
+		}
+		rep, err := analytic.CrossCheck(cfg, apps, s.Run().Summary(), analytic.OracleBand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	clean := run(false)
+	for _, f := range clean.Flags {
+		if f.Kind == "dead-tile" {
+			t.Errorf("oracle flagged a healthy run: %s %s: %s", f.Tile, f.App, f.Detail)
+		}
+	}
+
+	bad := run(true)
+	var dead int
+	for _, f := range bad.Flags {
+		if f.Kind == "dead-tile" {
+			t.Logf("flagged: %s %s: %s", f.Tile, f.App, f.Detail)
+			dead++
+		}
+	}
+	// mesh256 scatters one app per row; rows 4..15 live on tiles >= 64 and
+	// stop ticking under the truncation.
+	if dead < 10 {
+		t.Fatalf("oracle found %d dead tiles, want >= 10 (flags: %+v)", dead, bad.Flags)
+	}
+	if bad.InBand() {
+		t.Error("truncated run still reports InBand")
+	}
+}

@@ -1,0 +1,79 @@
+package analytic
+
+import (
+	"math"
+
+	"nocmem/internal/sim"
+)
+
+// Summary renders the estimate in the exact JSON shape the simulator emits,
+// with Estimated set so downstream tooling can tell the two apart. Counters
+// are the model's rates scaled by the configured measurement window, and the
+// latency percentiles come from the model's shifted-exponential round-trip
+// approximation: the deterministic part of the trip is the shift, the
+// queueing part the exponential tail.
+func (e *Estimate) Summary() sim.Summary {
+	cfg := e.Cfg
+	cycles := cfg.Run.MeasureCycles
+	s := sim.Summary{
+		Cycles:         cycles,
+		Estimated:      true,
+		Scheme1Enabled: cfg.S1.Enabled,
+		Scheme2Enabled: cfg.S2.Enabled,
+		NetAvgLatency:  e.NetLatency,
+		NetDelivered:   int64(e.pktRate * float64(cycles)),
+		S1TaggedFrac:   e.S1TaggedFrac,
+		S2TaggedFrac:   e.S2TaggedFrac,
+	}
+
+	var lamRead, lamWrite float64
+	for _, a := range e.Apps {
+		lamRead += a.OffChipRate
+		lamWrite += a.OffChipRate * a.prof.StoreFrac
+
+		// Shifted-exponential percentiles: the queueing share of the
+		// trip is the tail scale, floored so percentiles never
+		// collapse below the mean.
+		q := math.Max(e.MCQueueDelay, 0.1*a.Total)
+		base := a.Total - q
+		pct := func(p float64) int64 {
+			return int64(base + q*math.Log(1/(1-p/100)))
+		}
+		s.Apps = append(s.Apps, sim.AppSummary{
+			Tile:        a.Tile,
+			App:         a.App,
+			IPC:         a.IPC,
+			MLP:         a.MLP,
+			MPKI:        a.prof.MPKI,
+			OffChip:     int64(a.OffChipRate * float64(cycles)),
+			L2Hits:      int64(a.L2HitRate * float64(cycles)),
+			MeanLatency: a.Total,
+			P50Latency:  pct(50),
+			P90Latency:  pct(90),
+			P99Latency:  pct(99),
+			Legs:        a.Legs,
+		})
+	}
+
+	ctls := float64(cfg.DRAM.Controllers)
+	banks := float64(cfg.DRAM.BanksPerCtl)
+	burst := float64(cfg.DRAM.TBurst * cfg.DRAM.BusMultiplier)
+	rhoBank := math.Min((lamRead+lamWrite)/(ctls*banks)*e.MCServiceTime, 1)
+	idle := make([]float64, cfg.DRAM.BanksPerCtl)
+	for i := range idle {
+		idle[i] = 1 - rhoBank
+	}
+	for i := 0; i < cfg.DRAM.Controllers; i++ {
+		perCtlReq := (lamRead + lamWrite) / ctls
+		s.MCs = append(s.MCs, sim.MCSummary{
+			Reads:      int64(lamRead / ctls * float64(cycles)),
+			Writes:     int64(lamWrite / ctls * float64(cycles)),
+			RowHitRate: e.RowHitRate,
+			// Little's law over the visible residence time.
+			AvgQueue:     perCtlReq * (float64(cfg.DRAM.CtlLatency) + e.MCQueueDelay + e.MCServiceTime),
+			BusBusy:      int64(perCtlReq * burst * float64(cycles)),
+			BankIdleness: append([]float64(nil), idle...),
+		})
+	}
+	return s
+}

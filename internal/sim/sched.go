@@ -295,6 +295,16 @@ func (m *mcNode) trySleep(now int64) {
 	m.sh.mcWakes.Push(wakeAt, int32(m.idx))
 }
 
+// DebugTruncateActiveWords arms a fault-injection hook for the divergence
+// oracle's mutation tests: every shard's node sweep only visits the first
+// `words` 64-bit words of its active set, so tiles with id >= 64*words never
+// tick — the exact symptom of the old allMask(64) truncation bug this
+// repository once shipped. Their work stays queued (the active bits remain
+// set), which also suppresses quiescence fast-forwarding; the run still
+// terminates because Step executes a fixed cycle budget. 0 disables the
+// hook. Never use outside tests.
+func (s *Simulator) DebugTruncateActiveWords(words int) { s.truncActiveWords = words }
+
 // DebugTickedCycles returns the number of cycles the event-driven scheduler
 // actually executed (as opposed to fast-forwarded over); used by tests to
 // prove quiescent stretches are skipped.

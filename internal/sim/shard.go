@@ -80,6 +80,18 @@ type simShard struct {
 	msgFree []*message
 }
 
+// nodeSweep returns the node active-set words a phase sweep must visit.
+// Normally that is the whole set; with the DebugTruncateActiveWords test
+// hook armed it is a truncated prefix, reproducing the pre-fix allMask(64)
+// bug (tiles beyond the first 64*words never tick) for the divergence-oracle
+// mutation tests.
+func (sh *simShard) nodeSweep() bitset.Set {
+	if t := sh.s.truncActiveWords; t > 0 && t < len(sh.nodeActive) {
+		return sh.nodeActive[:t]
+	}
+	return sh.nodeActive
+}
+
 // drainWakes activates components whose timed wakes are due.
 func (sh *simShard) drainWakes(now int64) {
 	sh.wakeBuf = sh.nodeWakes.PopDue(now, sh.wakeBuf[:0])
@@ -139,8 +151,7 @@ func (sh *simShard) phaseFront(now int64) {
 			sh.s.mcs[i].ctl.Tick(now)
 		}
 	}
-	for wi := range sh.nodeActive {
-		w := sh.nodeActive[wi]
+	for wi, w := range sh.nodeSweep() {
 		for w != 0 {
 			i := wi*64 + bits.TrailingZeros64(w)
 			w &= w - 1
@@ -159,16 +170,14 @@ func (sh *simShard) phaseFront(now int64) {
 // then retire quiescent components from the active sets.
 func (sh *simShard) phaseBack(now int64) {
 	sh.s.net.DrainShard(sh.id)
-	for wi := range sh.nodeActive {
-		w := sh.nodeActive[wi]
+	for wi, w := range sh.nodeSweep() {
 		for w != 0 {
 			i := wi*64 + bits.TrailingZeros64(w)
 			w &= w - 1
 			sh.s.nodes[i].tickCore(now)
 		}
 	}
-	for wi := range sh.nodeActive {
-		w := sh.nodeActive[wi]
+	for wi, w := range sh.nodeSweep() {
 		for w != 0 {
 			i := wi*64 + bits.TrailingZeros64(w)
 			w &= w - 1

@@ -58,6 +58,12 @@ type Simulator struct {
 	polNext int64
 	ticked  int64
 
+	// truncActiveWords, when positive, truncates every shard's node
+	// active-set sweep to its first N 64-bit words — a test-only fault
+	// injection reproducing the historical allMask(64) bug. See
+	// DebugTruncateActiveWords.
+	truncActiveWords int
+
 	// par coordinates the parallel shard workers of one Step call.
 	par stepPar
 

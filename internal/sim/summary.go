@@ -39,6 +39,11 @@ type MCSummary struct {
 type Summary struct {
 	Cycles int64 `json:"cycles"`
 
+	// Estimated marks a summary produced by the closed-form model
+	// (internal/analytic) rather than the cycle-accurate simulator.
+	// omitempty keeps simulator output byte-identical to earlier versions.
+	Estimated bool `json:"estimated,omitempty"`
+
 	Scheme1Enabled bool `json:"scheme1"`
 	Scheme2Enabled bool `json:"scheme2"`
 

@@ -150,8 +150,14 @@ func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
+	// Clamp p into the documented domain (0, 100]: p <= 0 resolves to the
+	// smallest sample's bucket, p > 100 to the same bucket as p = 100
+	// (instead of silently falling through to the max-bucket bound).
 	if p <= 0 {
 		p = math.SmallestNonzeroFloat64
+	}
+	if p > 100 {
+		p = 100
 	}
 	target := int64(math.Ceil(float64(h.count) * p / 100))
 	if target < 1 {
@@ -176,7 +182,7 @@ func (h *Histogram) FractionAbove(x int64) float64 {
 	}
 	var above int64
 	for i, b := range h.buckets {
-		if int64(i)*h.width >= x {
+		if int64(i)*h.width > x {
 			above += b
 		}
 	}

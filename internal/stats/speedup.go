@@ -77,12 +77,15 @@ func GeoMean(vs []float64) (float64, error) {
 	if len(vs) == 0 {
 		return 0, fmt.Errorf("stats: geomean of empty slice")
 	}
-	prod := 1.0
+	// Accumulate in the log domain: a running product of thousands of
+	// values around 1e3 (or 1e-3) overflows to +Inf (or underflows to 0)
+	// long before float64 loses precision on the sum of logs.
+	var sum float64
 	for i, v := range vs {
 		if v <= 0 {
 			return 0, fmt.Errorf("stats: geomean input %d is %v", i, v)
 		}
-		prod *= v
+		sum += math.Log(v)
 	}
-	return math.Pow(prod, 1/float64(len(vs))), nil
+	return math.Exp(sum / float64(len(vs))), nil
 }

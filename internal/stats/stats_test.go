@@ -91,15 +91,51 @@ func TestHistogramPercentile(t *testing.T) {
 	if NewHistogram(1, 10).Percentile(50) != 0 {
 		t.Error("empty percentile should be 0")
 	}
+	// Out-of-domain p clamps into (0, 100]: p <= 0 resolves to the lowest
+	// sample's bucket, p > 100 behaves exactly like p = 100 (it must not
+	// fall through to the max-bucket bound of 1000).
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{p: 0, want: 1},     // first sample (value 0) lives in bucket [0,1)
+		{p: -5, want: 1},    // same clamp as p -> 0+
+		{p: 100, want: 100}, // last sample is 99: bucket [99,100)
+		{p: 150, want: 100}, // clamped to p = 100, not len(buckets)*width
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
 }
 
 func TestFractionAbove(t *testing.T) {
+	// Uniform over [0, 100) with width-10 buckets: bucket k holds
+	// [10k, 10k+10). A bucket counts as "above x" only when its whole
+	// range lies strictly above x, so the bucket whose lower bound equals
+	// x must NOT count (it contains the sample v == x).
 	h := NewHistogram(10, 10)
 	for i := int64(0); i < 100; i++ {
 		h.Add(i)
 	}
-	if f := h.FractionAbove(60); math.Abs(f-0.4) > 1e-9 {
-		t.Errorf("fraction above 60 = %.3f, want 0.4", f)
+	cases := []struct {
+		x    int64
+		want float64
+	}{
+		{x: 59, want: 0.4}, // buckets 6..9 lie wholly above 59
+		{x: 60, want: 0.3}, // bucket 6 contains 60 itself: excluded
+		{x: 61, want: 0.3}, // bucket 6 straddles 61: excluded
+		{x: 0, want: 0.9},  // bucket 0 contains 0: excluded
+		{x: 89, want: 0.1},
+		{x: 90, want: 0},
+		{x: 91, want: 0},
+		{x: 100, want: 0},
+	}
+	for _, c := range cases {
+		if f := h.FractionAbove(c.x); math.Abs(f-c.want) > 1e-9 {
+			t.Errorf("fraction above %d = %.3f, want %.3f", c.x, f, c.want)
+		}
 	}
 }
 
@@ -227,6 +263,40 @@ func TestGeoMean(t *testing.T) {
 	}
 	if _, err := GeoMean([]float64{1, -1}); err == nil {
 		t.Error("negative geomean accepted")
+	}
+}
+
+func TestGeoMeanLongSweeps(t *testing.T) {
+	// A running product of 10k values around 1e3 overflows float64 after
+	// ~100 entries (and underflows around 1e-3); the log-domain form must
+	// return the true geometric mean for both.
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name   string
+		center float64
+	}{
+		{name: "large", center: 1e3},
+		{name: "small", center: 1e-3},
+	}
+	for _, c := range cases {
+		vs := make([]float64, 10_000)
+		var logSum float64
+		for i := range vs {
+			v := c.center * (0.5 + rng.Float64()) // within [0.5x, 1.5x)
+			vs[i] = v
+			logSum += math.Log(v)
+		}
+		want := math.Exp(logSum / float64(len(vs)))
+		got, err := GeoMean(vs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.IsInf(got, 0) || got == 0 {
+			t.Fatalf("%s: geomean over/underflowed to %v", c.name, got)
+		}
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("%s: geomean %v, want %v", c.name, got, want)
+		}
 	}
 }
 
