@@ -5,14 +5,16 @@
 # gate (a 2-worker stealing run must reproduce the sequential stepper byte
 # for byte on the skewed corner-hotspot workload), the analytic-model smoke
 # gate (closed-form estimates cross-checked against short simulated runs,
-# plus the golden-scenario and divergence-oracle unit tests), and a smoke
-# run of the perf harness (micro-benchmarks plus the sharded-vs-sequential
-# and bursty dense/event/sharded byte-equality gates, regression-gated; the
-# full harness writing BENCH_8.json is `make bench`).
+# plus the golden-scenario and divergence-oracle unit tests), the simulation
+# daemon's smoke gate (one simulated run, one sub-50ms store hit, one
+# closed-form estimate through a real HTTP round trip), and a smoke run of
+# the perf harness (micro-benchmarks plus the sharded-vs-sequential and
+# bursty dense/event/sharded byte-equality gates, regression-gated; the full
+# harness writing BENCH_8.json is `make bench`).
 
 GO ?= go
 
-.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke estimate-smoke profile ci
+.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke estimate-smoke simd-smoke profile ci
 
 all: build
 
@@ -66,6 +68,15 @@ estimate-smoke:
 	$(GO) run ./cmd/bench -estimate-smoke
 	$(GO) test -run 'TestGolden|TestOracle' ./internal/analytic
 
+# The simulation daemon's end-to-end smoke gate: build cmd/nocsimd, boot it
+# in-process on a temp store and a real TCP port, and drive it through the
+# client library — a fresh run must simulate, an identical request must be
+# served from the on-disk store in under 50ms without re-simulating, and an
+# estimate request must answer from the closed-form model.
+simd-smoke:
+	$(GO) build ./cmd/nocsimd
+	$(GO) run ./cmd/nocsimd -selftest
+
 # Profile the harness itself: a quick pass with CPU and heap profiles written
 # next to the repo, ready for `go tool pprof cpu.pprof`. See ARCHITECTURE.md
 # ("Profiling workflow") for how to read the output.
@@ -74,4 +85,4 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
-ci: vet build fork-race race shard-scaling-smoke estimate-smoke bench-smoke
+ci: vet build fork-race race shard-scaling-smoke estimate-smoke simd-smoke bench-smoke

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"nocmem/internal/config"
+	"nocmem/internal/simd"
+	"nocmem/internal/simdclient"
+)
+
+// runSelftest is the `make simd-smoke` gate: build and start a real daemon
+// on a temp store and a real TCP port, then drive it through the client
+// library — one simulated run, one identical request that must be a store
+// hit served in under 50ms without touching the simulator, and one
+// closed-form estimate. Fails loudly on any miscount.
+func runSelftest() error {
+	dir, err := os.MkdirTemp("", "nocsimd-selftest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := simd.New(simd.Options{StoreDir: dir, ShareWarmup: true, Logf: log.Printf})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	cl := simdclient.New("http://" + ln.Addr().String())
+	defer cl.Close()
+	if err := cl.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	cfg := config.Baseline16()
+	cfg.Run.WarmupCycles = 4_000
+	cfg.Run.MeasureCycles = 8_000
+	cfg.S1.UpdatePeriod = 2_000
+	point := simd.RunSpec{Config: cfg, Apps: []string{"mcf", "lbm", "milc", "mcf"}}
+
+	// 1. Fresh run: simulated.
+	js, err := cl.Run(ctx, simd.RunRequest{Points: []simd.RunSpec{point}})
+	if err != nil {
+		return err
+	}
+	if e := js.Err(); e != "" {
+		return fmt.Errorf("run failed: %s", e)
+	}
+	if got := js.Results[0].Source; got != simd.SourceSim {
+		return fmt.Errorf("first request source %q, want %q", got, simd.SourceSim)
+	}
+	first := js.Results[0].Summary
+
+	// 2. Identical request: a store hit, served fast and without another
+	// simulation. Take the best of three polls so a GC pause or scheduler
+	// hiccup cannot flake the gate.
+	best := time.Duration(1 << 62)
+	var hit *simd.JobStatus
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		hit, err = cl.Run(ctx, simd.RunRequest{Points: []simd.RunSpec{point}})
+		if err != nil {
+			return err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	if got := hit.Results[0].Source; got != simd.SourceStore {
+		return fmt.Errorf("repeat request source %q, want %q", got, simd.SourceStore)
+	}
+	if !bytes.Equal(first, hit.Results[0].Summary) {
+		return fmt.Errorf("store hit returned different bytes than the original run")
+	}
+	if best >= 50*time.Millisecond {
+		return fmt.Errorf("cache hit took %s, want < 50ms", best)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Runner.Executed != 1 {
+		return fmt.Errorf("%d simulations executed, want exactly 1 (hits must not re-simulate)", st.Runner.Executed)
+	}
+	if st.Store.ResultHits < 3 {
+		return fmt.Errorf("store served %d hits, want >= 3", st.Store.ResultHits)
+	}
+
+	// 3. Estimate: closed-form, no simulation.
+	est := point
+	est.Estimate = true
+	js, err = cl.Run(ctx, simd.RunRequest{Points: []simd.RunSpec{est}})
+	if err != nil {
+		return err
+	}
+	if e := js.Err(); e != "" {
+		return fmt.Errorf("estimate failed: %s", e)
+	}
+	if got := js.Results[0].Source; got != simd.SourceEstimate {
+		return fmt.Errorf("estimate source %q, want %q", got, simd.SourceEstimate)
+	}
+	if st2, err := cl.Stats(ctx); err != nil {
+		return err
+	} else if st2.Runner.Executed != 1 {
+		return fmt.Errorf("estimate executed a simulation (%d total)", st2.Runner.Executed)
+	}
+
+	dctx, dcancel := context.WithTimeout(ctx, time.Minute)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		return err
+	}
+	log.Printf("selftest: run simulated once, hit served from store in %s, estimate in closed form", best)
+	return nil
+}

@@ -46,6 +46,7 @@ func main() {
 		fork    = flag.Bool("fork", false, "share one baseline warmup checkpoint across compatible sweep points (faster; scheme points then warm up under the baseline policy)")
 		est     = flag.Bool("estimate", false, "answer the whole sweep from the closed-form analytic model instead of simulating")
 		prune   = flag.Float64("prune-estimate", 0, "skip sweep points whose estimated |normalized WS delta| vs the first point is below this threshold (0 = run everything)")
+		verbose = flag.Bool("v", false, "print cache/warmup provenance counters after the sweep (simulated vs cached runs, shared warmups, forks)")
 	)
 	flag.Parse()
 	if *steal != "on" && *steal != "off" {
@@ -258,6 +259,16 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, r.norm, r.netAvg, r.s1Pct, r.s2Pct)
 	}
 	tw.Flush()
+
+	if *verbose {
+		st := nocmem.Stats()
+		log.Printf("provenance: %d run requests — %d simulated, %d served by the alone cache", st.Runs, st.Executed, st.CacheHits)
+		log.Printf("provenance: %d warmup windows executed, %d runs forked from shared warm checkpoints", st.Warmups, st.Forked)
+		if st.SnapshotMemHits+st.SnapshotDiskHits+st.SnapshotEvictions > 0 {
+			log.Printf("provenance: snapshots: %d memory hits, %d disk hits, %d evictions",
+				st.SnapshotMemHits, st.SnapshotDiskHits, st.SnapshotEvictions)
+		}
+	}
 }
 
 // estimatedNorm is the model's normalized weighted speedup for one sweep

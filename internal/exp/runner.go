@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nocmem/internal/config"
 	"nocmem/internal/forkrun"
@@ -94,6 +95,58 @@ type Runner struct {
 	// first run. Both funnel through one mutex so concurrent runs cannot
 	// interleave torn log lines.
 	Progress func(format string, args ...any)
+
+	// Cache-provenance counters (see Stats).
+	reqs, hits, executed atomic.Int64
+}
+
+// Stats reports where a Runner's results came from: how many run requests it
+// saw, how many simulations it actually executed, how many requests the
+// in-memory singleflight cache absorbed, and the warmup-sharing counters of
+// the underlying fork cache. Surfaced by the simulation daemon's /statsz
+// endpoint and by sweep -v.
+type Stats struct {
+	// Runs counts run requests, including ones served from the cache.
+	Runs int64 `json:"runs"`
+	// Executed counts fresh simulations this runner performed.
+	Executed int64 `json:"executed"`
+	// CacheHits counts requests coalesced onto (or recalled from) an
+	// earlier identical run — Runs - Executed, tracked explicitly so a
+	// torn read can never fabricate work that did not happen.
+	CacheHits int64 `json:"cache_hits"`
+	// Forked counts measurement runs forked from a shared warm snapshot
+	// (only ever non-zero with Options.ShareWarmup).
+	Forked int64 `json:"forked"`
+	// Warmups counts warmup windows executed by the fork cache.
+	Warmups int64 `json:"warmups"`
+	// SnapshotMemHits / SnapshotDiskHits / SnapshotEvictions are the fork
+	// cache's snapshot provenance (see forkrun.Stats).
+	SnapshotMemHits   int64 `json:"snapshot_mem_hits"`
+	SnapshotDiskHits  int64 `json:"snapshot_disk_hits"`
+	SnapshotEvictions int64 `json:"snapshot_evictions"`
+}
+
+// Stats returns the runner's cache-provenance counters.
+func (r *Runner) Stats() Stats {
+	fs := r.forks.Stats()
+	return Stats{
+		Runs:              r.reqs.Load(),
+		Executed:          r.executed.Load(),
+		CacheHits:         r.hits.Load(),
+		Forked:            fs.Forked,
+		Warmups:           fs.Warmups,
+		SnapshotMemHits:   fs.MemHits,
+		SnapshotDiskHits:  fs.DiskHits,
+		SnapshotEvictions: fs.Evictions,
+	}
+}
+
+// SetSnapshotStore backs the runner's warmup-sharing fork cache with a
+// persistent snapshot store (the daemon's on-disk store), so warm images
+// survive restarts. Call before the first run; only meaningful with
+// Options.ShareWarmup.
+func (r *Runner) SetSnapshotStore(st forkrun.SnapshotStore) {
+	r.forks.SetStore(st)
 }
 
 // runEntry is one singleflight cache slot: done is closed when res/err are
@@ -143,20 +196,45 @@ func (r *Runner) logf(format string, args ...any) {
 // cfgKey returns the cache key of a fully-applied configuration.
 func cfgKey(cfg config.Config) string { return cfg.Key() }
 
+// RunKey returns the cache key under which a (config, label) run is
+// deduplicated and stored: the config's field-by-field key plus the label
+// naming the application placement. The simulation daemon addresses its
+// on-disk result store with the same key, so in-memory singleflight and
+// on-disk dedup agree about what "the same run" means.
+func RunKey(cfg config.Config, label string) string {
+	return cfgKey(cfg) + "|" + label
+}
+
 // run executes (or recalls, or waits for) a full workload run.
 func (r *Runner) run(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
-	cfg = r.opts.apply(cfg)
-	key := cfgKey(cfg) + "|" + label
+	return r.runKeyed(r.opts.apply(cfg), apps, label)
+}
+
+// RunConfig executes (or recalls) one fully-specified configuration without
+// applying the runner's Options defaults: the entry point of the simulation
+// daemon, whose clients send complete configs (warmup/measurement windows
+// included). The same singleflight cache and worker semaphore as the figure
+// helpers apply, so concurrent identical requests — even from different
+// clients — execute exactly one simulation.
+func (r *Runner) RunConfig(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
+	return r.runKeyed(cfg, apps, label)
+}
+
+func (r *Runner) runKeyed(cfg config.Config, apps []trace.Profile, label string) (*sim.Result, error) {
+	key := RunKey(cfg, label)
+	r.reqs.Add(1)
 	r.mu.Lock()
 	if e, ok := r.runs[key]; ok {
 		r.mu.Unlock()
 		<-e.done
+		r.hits.Add(1)
 		return e.res, e.err
 	}
 	e := &runEntry{done: make(chan struct{})}
 	r.runs[key] = e
 	r.mu.Unlock()
 
+	r.executed.Add(1)
 	e.res, e.err = r.execute(cfg, apps, label)
 	close(e.done)
 	return e.res, e.err

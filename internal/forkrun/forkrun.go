@@ -19,6 +19,15 @@
 // whose warmup already had the scheme enabled. Measurement statistics are
 // reset at the fork point either way. Callers opt in explicitly (the -fork
 // flags of cmd/sweep, cmd/figures and cmd/nocsim).
+//
+// A Cache may additionally be backed by a persistent SnapshotStore (the
+// simulation daemon's on-disk store): warm images then survive process
+// restarts, so a freshly started daemon forks measurement runs from
+// checkpoints warmed in a previous life instead of re-executing a single
+// warmup cycle. A store image that fails to restore is evicted — from memory
+// and disk — and the warmup re-executes, so corruption degrades to wasted
+// work, never to an error surfaced on a request that a fresh warmup could
+// have served.
 package forkrun
 
 import (
@@ -26,17 +35,46 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nocmem/internal/config"
 	"nocmem/internal/sim"
+	"nocmem/internal/snapshot"
 	"nocmem/internal/trace"
 )
 
+// SnapshotStore persists warm checkpoint images across processes. Save and
+// Delete are best-effort (implementations log and continue on I/O failure);
+// Load returns ok=false for both absent and unreadable entries.
+type SnapshotStore interface {
+	LoadSnapshot(key string) (img []byte, ok bool)
+	SaveSnapshot(key string, img []byte)
+	DeleteSnapshot(key string)
+}
+
+// Stats reports where a Cache's snapshots came from — the warmup-provenance
+// counters surfaced by the daemon's /statsz and by sweep -v.
+type Stats struct {
+	// Warmups counts warmup windows actually executed by this process.
+	Warmups int64 `json:"warmups"`
+	// Forked counts measurement runs forked from a shared warm snapshot.
+	Forked int64 `json:"forked"`
+	// MemHits counts snapshot requests served by the in-memory cache
+	// (i.e. coalesced onto an earlier requester's warmup or load).
+	MemHits int64 `json:"mem_hits"`
+	// DiskHits counts snapshots resurrected from the persistent store.
+	DiskHits int64 `json:"disk_hits"`
+	// Evictions counts snapshots ejected as corrupt (header or restore
+	// failure of a store image).
+	Evictions int64 `json:"evictions"`
+}
+
 // entry is one singleflight slot: done is closed when snap/err are final.
 type entry struct {
-	done chan struct{}
-	snap []byte
-	err  error
+	done      chan struct{}
+	snap      []byte
+	err       error
+	fromStore bool // snap was loaded from the persistent store
 }
 
 // Cache memoizes warmed-up checkpoints. The zero value is ready to use; a
@@ -45,6 +83,28 @@ type entry struct {
 type Cache struct {
 	mu    sync.Mutex
 	snaps map[string]*entry
+	store SnapshotStore
+
+	warmups, forked, memHits, diskHits, evictions atomic.Int64
+}
+
+// SetStore installs the persistent snapshot store backing this cache. Call
+// before the first Run; nil disables persistence.
+func (c *Cache) SetStore(st SnapshotStore) {
+	c.mu.Lock()
+	c.store = st
+	c.mu.Unlock()
+}
+
+// Stats returns the cache's provenance counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Warmups:   c.warmups.Load(),
+		Forked:    c.forked.Load(),
+		MemHits:   c.memHits.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // Key returns the snapshot cache key of cfg's run: everything that
@@ -64,8 +124,8 @@ func Key(cfg config.Config, apps []trace.Profile) string {
 	return b.String()
 }
 
-// Snapshots reports how many distinct warmup snapshots the cache holds —
-// i.e. how many warmups were actually executed.
+// Snapshots reports how many distinct warm snapshots the cache holds in
+// memory (executed by this process or resurrected from the store).
 func (c *Cache) Snapshots() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -85,22 +145,35 @@ func (c *Cache) Run(cfg config.Config, apps []trace.Profile) (*sim.Result, error
 		}
 		return s.Run(), nil
 	}
-	snap, err := c.snapshot(cfg, apps)
-	if err != nil {
-		return nil, fmt.Errorf("forkrun: warmup snapshot: %w", err)
+	for attempt := 0; ; attempt++ {
+		snap, fromStore, err := c.snapshot(cfg, apps)
+		if err != nil {
+			return nil, fmt.Errorf("forkrun: warmup snapshot: %w", err)
+		}
+		rcfg := cfg
+		rcfg.Run.ResumeFrom = cfg.Run.WarmupCycles
+		s, err := sim.Restore(rcfg, apps, bytes.NewReader(snap))
+		if err != nil {
+			// A store image passed the header check but failed the full
+			// decode (bit rot past the CRC's reach should be impossible, a
+			// stale or foreign file is not): evict it everywhere and retry
+			// once with a fresh warmup. A snapshot produced by this process
+			// failing to restore is a real bug — surface it.
+			if fromStore && attempt == 0 {
+				c.evict(cfg, apps)
+				continue
+			}
+			return nil, fmt.Errorf("forkrun: restoring warmup snapshot: %w", err)
+		}
+		c.forked.Add(1)
+		return s.Run(), nil
 	}
-	rcfg := cfg
-	rcfg.Run.ResumeFrom = cfg.Run.WarmupCycles
-	s, err := sim.Restore(rcfg, apps, bytes.NewReader(snap))
-	if err != nil {
-		return nil, fmt.Errorf("forkrun: restoring warmup snapshot: %w", err)
-	}
-	return s.Run(), nil
 }
 
 // snapshot returns (producing at most once per key) the warmed checkpoint
-// image for cfg's group.
-func (c *Cache) snapshot(cfg config.Config, apps []trace.Profile) ([]byte, error) {
+// image for cfg's group, reporting whether it came from the persistent
+// store.
+func (c *Cache) snapshot(cfg config.Config, apps []trace.Profile) ([]byte, bool, error) {
 	key := Key(cfg, apps)
 	c.mu.Lock()
 	if c.snaps == nil {
@@ -109,26 +182,62 @@ func (c *Cache) snapshot(cfg config.Config, apps []trace.Profile) ([]byte, error
 	if e, ok := c.snaps[key]; ok {
 		c.mu.Unlock()
 		<-e.done
-		return e.snap, e.err
+		c.memHits.Add(1)
+		return e.snap, e.fromStore, e.err
 	}
 	e := &entry{done: make(chan struct{})}
 	c.snaps[key] = e
+	st := c.store
 	c.mu.Unlock()
 	defer close(e.done)
+
+	if st != nil {
+		if img, ok := st.LoadSnapshot(key); ok {
+			// The store already checksummed the entry frame; validating the
+			// checkpoint header here additionally rejects images written by
+			// a binary with a different snapshot.Version before any run
+			// wastes a restore attempt on them.
+			if _, err := snapshot.NewReaderBytes(img); err == nil {
+				e.snap, e.fromStore = img, true
+				c.diskHits.Add(1)
+				return e.snap, true, nil
+			}
+			st.DeleteSnapshot(key)
+			c.evictions.Add(1)
+		}
+	}
 
 	s, err := sim.New(canonical(cfg), apps)
 	if err != nil {
 		e.err = err
-		return nil, err
+		return nil, false, err
 	}
 	s.Step(cfg.Run.WarmupCycles)
 	var buf bytes.Buffer
 	if err := s.Checkpoint(&buf); err != nil {
 		e.err = err
-		return nil, err
+		return nil, false, err
 	}
 	e.snap = buf.Bytes()
-	return e.snap, nil
+	c.warmups.Add(1)
+	if st != nil {
+		st.SaveSnapshot(key, e.snap)
+	}
+	return e.snap, false, nil
+}
+
+// evict drops a poisoned snapshot from the in-memory cache and the
+// persistent store, so the next requester re-executes the warmup.
+func (c *Cache) evict(cfg config.Config, apps []trace.Profile) {
+	key := Key(cfg, apps)
+	c.mu.Lock()
+	delete(c.snaps, key)
+	st := c.store
+	c.mu.Unlock()
+	if st != nil {
+		st.DeleteSnapshot(key)
+	}
+	c.evictions.Add(1)
 }
 
 // canonical strips every policy dimension sim.Restore tolerates differing

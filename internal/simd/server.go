@@ -1,0 +1,412 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nocmem/internal/analytic"
+	"nocmem/internal/config"
+	"nocmem/internal/exp"
+	"nocmem/internal/par"
+	"nocmem/internal/trace"
+	"nocmem/internal/workload"
+)
+
+// Options configures a Server. The zero value is not usable: StoreDir is
+// required.
+type Options struct {
+	// StoreDir roots the on-disk result/checkpoint store.
+	StoreDir string
+	// Parallelism bounds concurrently executing simulations (0 =
+	// GOMAXPROCS), shared across all jobs and clients.
+	Parallelism int
+	// ShareWarmup turns on warmup forking (see internal/forkrun): one
+	// golden warm checkpoint per compatible group, persisted in the store
+	// so it survives restarts. The daemon defaults this on.
+	ShareWarmup bool
+	// Logf receives server diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job registry, the worker pool (via exp.Runner's semaphore)
+// and the store. Create with New, expose with Handler, stop with Drain.
+type Server struct {
+	opts   Options
+	store  *Store
+	runner *exp.Runner
+	mux    *http.ServeMux
+
+	// ctx is cancelled by Abort: queued points then fail fast instead of
+	// starting new simulations (a drain still waits for running ones —
+	// simulations are synchronous and cannot be interrupted mid-cycle).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+
+	jobWG    sync.WaitGroup
+	draining atomic.Bool
+
+	jobsTotal, pointsTotal, inflight atomic.Int64
+}
+
+// job is one accepted run/sweep request working through its points.
+type job struct {
+	id string
+
+	mu      sync.Mutex
+	status  string
+	events  []Event
+	results []PointResult
+}
+
+func (j *job) logf(format string, args ...any) {
+	j.mu.Lock()
+	j.events = append(j.events, Event{Seq: len(j.events), Msg: fmt.Sprintf(format, args...)})
+	j.mu.Unlock()
+}
+
+func (j *job) setStatus(s string) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+// snapshot renders the polling view: events past cursor, plus a copy of the
+// per-point results filled in so far.
+func (j *job) snapshot(cursor int) *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	js := &JobStatus{ID: j.id, Status: j.status, NextCursor: len(j.events)}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor < len(j.events) {
+		js.Events = append(js.Events, j.events[cursor:]...)
+	}
+	js.Results = append(js.Results, j.results...)
+	return js
+}
+
+// resolvedPoint is a RunSpec after validation: profiles looked up, label and
+// store key fixed.
+type resolvedPoint struct {
+	cfg      config.Config
+	apps     []trace.Profile
+	label    string
+	key      string
+	estimate bool
+}
+
+// New opens the store and builds a server. The runner's fork cache is wired
+// to the store, so warm checkpoints persist across daemon restarts.
+func New(opts Options) (*Server, error) {
+	if opts.StoreDir == "" {
+		return nil, fmt.Errorf("simd: Options.StoreDir is required")
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	store, err := OpenStore(opts.StoreDir, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	runner := exp.NewRunner(exp.Options{
+		Parallelism: opts.Parallelism,
+		ShareWarmup: opts.ShareWarmup,
+	})
+	runner.SetSnapshotStore(store)
+	runner.SetProgress(opts.Logf)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		store:  store,
+		runner: runner,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the server's on-disk store (tests inspect its counters).
+func (s *Server) Store() *Store { return s.store }
+
+// Stats assembles the /statsz snapshot.
+func (s *Server) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Jobs:         s.jobsTotal.Load(),
+		Points:       s.pointsTotal.Load(),
+		InflightJobs: s.inflight.Load(),
+		Draining:     s.draining.Load(),
+		Store:        s.store.Stats(),
+		Runner:       s.runner.Stats(),
+	}
+}
+
+// Drain stops accepting new jobs and waits for the in-flight ones —
+// everything already accepted runs to completion and lands in the store.
+// Returns ctx's error if the deadline expires first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("simd: drain: %w", ctx.Err())
+	}
+}
+
+// Abort simulates a kill: new jobs are refused and queued points of running
+// jobs fail fast instead of starting. Points whose simulation is already
+// executing still complete (a cycle loop cannot be interrupted), so callers
+// wanting a quiet process should Drain afterwards.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	s.cancel()
+}
+
+// --- HTTP plumbing ---
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// resolve validates one spec and fixes its label and store key.
+func (s *Server) resolve(sp RunSpec) (resolvedPoint, error) {
+	var rp resolvedPoint
+	rp.cfg, rp.estimate = sp.Config, sp.Estimate
+	if err := rp.cfg.Validate(); err != nil {
+		return rp, err
+	}
+	switch {
+	case sp.Workload > 0 && len(sp.Apps) > 0:
+		return rp, fmt.Errorf("point names both a workload and an explicit app list")
+	case sp.Workload > 0:
+		wl, err := workload.Get(sp.Workload)
+		if err != nil {
+			return rp, err
+		}
+		if rp.apps, err = wl.Profiles(); err != nil {
+			return rp, err
+		}
+		rp.label = wl.Name()
+	case len(sp.Apps) > 0:
+		for _, name := range sp.Apps {
+			p, err := trace.Lookup(name)
+			if err != nil {
+				return rp, err
+			}
+			rp.apps = append(rp.apps, p)
+		}
+		rp.label = "apps:" + strings.Join(sp.Apps, "+")
+	default:
+		return rp, fmt.Errorf("point names neither a workload nor an app list")
+	}
+	if len(rp.apps) > rp.cfg.Mesh.Nodes() {
+		return rp, fmt.Errorf("%d applications for %d tiles", len(rp.apps), rp.cfg.Mesh.Nodes())
+	}
+	rp.key = exp.RunKey(rp.cfg, rp.label)
+	if rp.estimate {
+		rp.key = "estimate|" + rp.key
+	}
+	return rp, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining, not accepting jobs")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "no points in request")
+		return
+	}
+	points := make([]resolvedPoint, len(req.Points))
+	keys := make([]string, len(req.Points))
+	for i, sp := range req.Points {
+		rp, err := s.resolve(sp)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+		points[i], keys[i] = rp, rp.key
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{id: "j" + strconv.Itoa(s.seq), status: StatusQueued, results: make([]PointResult, len(points))}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	s.jobsTotal.Add(1)
+	s.pointsTotal.Add(int64(len(points)))
+	s.inflight.Add(1)
+	s.jobWG.Add(1)
+	j.logf("accepted: %d point(s)", len(points))
+	go s.runJob(j, points)
+
+	writeJSON(w, SubmitResponse{ID: j.id, Keys: keys})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	cursor, _ := strconv.Atoi(r.URL.Query().Get("cursor"))
+	writeJSON(w, j.snapshot(cursor))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	payload, ok := s.store.LoadResult(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no stored result for key %q", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
+}
+
+// --- Job execution ---
+
+// runJob drives one job's points over the shared worker pool. Points run
+// concurrently (bounded by the runner's semaphore and by the pool group),
+// but results land at fixed indices, so a job's result order is independent
+// of scheduling.
+func (s *Server) runJob(j *job, points []resolvedPoint) {
+	defer s.jobWG.Done()
+	defer s.inflight.Add(-1)
+	j.setStatus(StatusRunning)
+	g := par.NewGroup(s.runner.Parallelism())
+	for i, rp := range points {
+		g.Go(func() error {
+			s.runPoint(j, i, len(points), rp)
+			return nil
+		})
+	}
+	g.Wait()
+	status := StatusDone
+	j.mu.Lock()
+	for _, pr := range j.results {
+		if pr.Err != "" {
+			status = StatusFailed
+			break
+		}
+	}
+	j.status = status
+	j.events = append(j.events, Event{Seq: len(j.events), Msg: status})
+	j.mu.Unlock()
+}
+
+// setResult publishes one point's outcome.
+func (j *job) setResult(idx int, pr PointResult) {
+	j.mu.Lock()
+	j.results[idx] = pr
+	j.mu.Unlock()
+}
+
+func (s *Server) runPoint(j *job, idx, total int, rp resolvedPoint) {
+	start := time.Now()
+	pr := PointResult{Key: rp.key, Label: rp.label}
+	defer func() {
+		j.setResult(idx, pr)
+		if pr.Err != "" {
+			j.logf("point %d/%d %s: error: %s", idx+1, total, rp.label, pr.Err)
+		} else {
+			j.logf("point %d/%d %s: %s in %s", idx+1, total, rp.label, pr.Source,
+				time.Since(start).Round(time.Millisecond))
+		}
+	}()
+
+	if rp.estimate {
+		padded := make([]trace.Profile, rp.cfg.Mesh.Nodes())
+		copy(padded, rp.apps)
+		est, err := analytic.Predict(rp.cfg, padded)
+		if err != nil {
+			pr.Err = err.Error()
+			return
+		}
+		data, err := json.Marshal(est.Summary())
+		if err != nil {
+			pr.Err = err.Error()
+			return
+		}
+		pr.Source, pr.Summary = SourceEstimate, data
+		return
+	}
+
+	// Disk first: a key simulated in any previous life of this store is
+	// served without touching the runner.
+	if data, ok := s.store.LoadResult(rp.key); ok {
+		pr.Source, pr.Summary = SourceStore, data
+		return
+	}
+	if err := s.ctx.Err(); err != nil {
+		pr.Err = "aborted before start"
+		return
+	}
+	// The runner's singleflight coalesces concurrent identical requests
+	// (same key, any client) onto one execution; both requesters then
+	// persist identical bytes, so the double SaveResult is a harmless
+	// rename race.
+	res, err := s.runner.RunConfig(rp.cfg, rp.apps, rp.label)
+	if err != nil {
+		pr.Err = err.Error()
+		return
+	}
+	data, err := json.Marshal(res.Summary())
+	if err != nil {
+		pr.Err = err.Error()
+		return
+	}
+	s.store.SaveResult(rp.key, data)
+	pr.Source, pr.Summary = SourceSim, data
+}

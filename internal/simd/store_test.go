@@ -1,0 +1,282 @@
+// Crash/restart and corruption tests for the on-disk store: a killed daemon
+// loses only what never reached disk, restarts re-serve completed keys
+// without re-simulation and re-run in-flight ones to byte-identical results,
+// and corrupt store entries — results or golden checkpoints — are evicted
+// and recomputed, never panicking and never poisoning a cache.
+package simd_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nocmem/internal/forkrun"
+	"nocmem/internal/simd"
+	"nocmem/internal/snapshot"
+	"nocmem/internal/trace"
+)
+
+// thresholdGrid returns n distinct Scheme-1 threshold points sharing one
+// warmup snapshot group — a realistic sweep whose points are cheap once the
+// group is warm.
+func thresholdGrid(n int) []simd.RunSpec {
+	var points []simd.RunSpec
+	for i := 0; i < n; i++ {
+		cfg := testCfg().WithSchemes(true, true)
+		cfg.S1.ThresholdFactor = 0.8 + 0.1*float64(i)
+		points = append(points, simd.RunSpec{Config: cfg, Apps: testApps})
+	}
+	return points
+}
+
+// TestMidSweepKillAndRestart kills the daemon mid-sweep and restarts it on
+// the same store: completed keys must be served from disk without
+// re-simulation, in-flight/queued keys must re-run, and every result must be
+// byte-identical to a direct runner execution.
+func TestMidSweepKillAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	// Parallelism 1 serializes the points, so the kill lands between them.
+	h := makeHarness(t, 1, dir, 1)
+	h.begin("kill mid-sweep, restart on the same store")
+
+	grid := thresholdGrid(6)
+	sub, err := h.clients[0].Submit(context.Background(), simd.RunRequest{Points: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for at least one result to land on disk, then pull the plug.
+	resultsDir := filepath.Join(dir, "results")
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if m, _ := filepath.Glob(filepath.Join(resultsDir, "*.res")); len(m) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no result reached the store within a minute")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.kill()
+
+	// Which keys survived? (The kill waits out the executing point, so the
+	// set on disk is exact, not racy.)
+	persisted := map[string]bool{}
+	for _, m := range mustGlob(t, filepath.Join(resultsDir, "*.res")) {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _, err := snapshot.DecodeEntry(data)
+		if err != nil {
+			t.Fatalf("persisted entry %s is corrupt: %v", filepath.Base(m), err)
+		}
+		persisted[key] = true
+	}
+	if len(persisted) == 0 || len(persisted) >= len(grid) {
+		t.Fatalf("kill landed badly: %d/%d points persisted (want a strict mid-sweep subset)", len(persisted), len(grid))
+	}
+	t.Logf("  killed with %d/%d points persisted", len(persisted), len(grid))
+	_ = sub
+
+	h.restartAfterKill()
+	js := h.run(0, grid)
+
+	direct := newDirect()
+	var fromStore, resimulated int
+	for i, sp := range grid {
+		pr := js.Results[i]
+		if persisted[pr.Key] {
+			if pr.Source != simd.SourceStore {
+				t.Errorf("completed point %d re-ran after restart (source %q)", i, pr.Source)
+			}
+			fromStore++
+		} else {
+			if pr.Source != simd.SourceSim {
+				t.Errorf("lost point %d not re-simulated after restart (source %q)", i, pr.Source)
+			}
+			resimulated++
+		}
+		if want := direct.summary(t, sp); !bytes.Equal(pr.Summary, want) {
+			t.Errorf("point %d: post-restart summary differs from direct runner", i)
+		}
+	}
+	st := h.stats()
+	if st.Runner.Executed != int64(resimulated) {
+		t.Errorf("restarted daemon executed %d sims, want %d (only the lost points)", st.Runner.Executed, resimulated)
+	}
+	t.Logf("  restart served %d from store, re-simulated %d", fromStore, resimulated)
+	h.end()
+}
+
+func mustGlob(t *testing.T, pattern string) []string {
+	t.Helper()
+	m, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCorruptSnapshotEvictedAndRewarmed plants a golden-checkpoint store
+// entry whose frame and header are valid but whose body cannot restore —
+// the worst corruption the CRC cannot catch at load time (e.g. a stale file
+// from a buggy writer). The daemon must evict it and re-execute the warmup,
+// not fail the request.
+func TestCorruptSnapshotEvictedAndRewarmed(t *testing.T) {
+	h := makeHarness(t, 1, "", 1)
+	h.begin("poisoned warm checkpoint is evicted and re-warmed")
+
+	grid := policyGrid()[:2]
+	// The fork key of the grid's snapshot group: policy-free config prefix
+	// plus the padded placement, exactly as exp.Runner hands it to forkrun.
+	cfg := grid[0].Config
+	padded := make([]trace.Profile, cfg.Mesh.Nodes())
+	for i, name := range testApps {
+		padded[i] = trace.MustLookup(name)
+	}
+	key := forkrun.Key(cfg, padded)
+
+	// Valid entry frame, valid checkpoint header, garbage body.
+	var img bytes.Buffer
+	w := snapshot.NewWriter(&img)
+	w.U64(0xdeadbeefdeadbeef)
+	w.String("not a simulator state")
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	h.srv.Store().SaveSnapshot(key, img.Bytes())
+
+	js := h.run(0, grid)
+	direct := newDirect()
+	for i, sp := range grid {
+		if js.Results[i].Source != simd.SourceSim {
+			t.Errorf("point %d source %q, want %q", i, js.Results[i].Source, simd.SourceSim)
+		}
+		if want := direct.summary(t, sp); !bytes.Equal(js.Results[i].Summary, want) {
+			t.Errorf("point %d: summary differs from direct runner after snapshot eviction", i)
+		}
+	}
+	st := h.stats()
+	if st.Runner.SnapshotDiskHits != 1 {
+		t.Errorf("%d snapshot disk hits, want 1 (the poisoned image)", st.Runner.SnapshotDiskHits)
+	}
+	if st.Runner.SnapshotEvictions < 1 {
+		t.Error("poisoned snapshot was never evicted")
+	}
+	if st.Runner.Warmups != 1 {
+		t.Errorf("executed %d warmups, want 1 (fresh warmup after eviction)", st.Runner.Warmups)
+	}
+	h.end()
+}
+
+// TestTruncatedResultEntryEvicted bit-flips and truncates a persisted
+// result entry and requires the restarted daemon to treat it as a miss,
+// evict it, and re-simulate — never serve garbage.
+func TestTruncatedResultEntryEvicted(t *testing.T) {
+	dir := t.TempDir()
+	h := makeHarness(t, 1, dir, 0)
+	h.begin("corrupt result entries are evicted and re-simulated")
+
+	grid := thresholdGrid(2)
+	first := h.run(0, grid)
+
+	files := mustGlob(t, filepath.Join(dir, "results", "*.res"))
+	if len(files) != len(grid) {
+		t.Fatalf("%d entry files for %d points", len(files), len(grid))
+	}
+	// Truncate one, bit-flip the other.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x08
+	if err := os.WriteFile(files[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h.restart()
+	second := h.run(0, grid)
+	for i := range grid {
+		if second.Results[i].Source != simd.SourceSim {
+			t.Errorf("point %d source %q, want %q (its entry was corrupt)", i, second.Results[i].Source, simd.SourceSim)
+		}
+		if !bytes.Equal(first.Results[i].Summary, second.Results[i].Summary) {
+			t.Errorf("point %d: re-simulated result differs from the original", i)
+		}
+	}
+	st := h.stats()
+	if st.Store.Evictions < 2 {
+		t.Errorf("%d store evictions, want >= 2", st.Store.Evictions)
+	}
+	h.end()
+}
+
+// FuzzStoreRead feeds arbitrary bytes to a store entry file and requires
+// error-and-evict: LoadResult never panics, never returns garbage, and a
+// rejected entry neither survives on disk nor poisons later reads.
+func FuzzStoreRead(f *testing.F) {
+	valid, err := snapshot.EncodeEntry("k", []byte(`{"cycles":6000}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not an entry at all"))
+	f.Add(valid[:len(valid)-3])
+	for i := 0; i < len(valid); i += 5 {
+		mut := append([]byte{}, valid...)
+		mut[i] ^= 0x20
+		f.Add(mut)
+	}
+	other, err := snapshot.EncodeEntry("other-key", []byte(`{"cycles":1}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(other)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		st, err := simd.OpenStore(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Learn the entry path for key "k", then overwrite it with fuzz data.
+		st.SaveResult("k", []byte("x"))
+		files, err := filepath.Glob(filepath.Join(dir, "results", "*.res"))
+		if err != nil || len(files) != 1 {
+			t.Fatalf("glob: %v (%d files)", err, len(files))
+		}
+		if err := os.WriteFile(files[0], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		payload, ok := st.LoadResult("k")
+		if ok {
+			// Accepting the bytes is only legal if they really are a valid
+			// entry for exactly this key.
+			key, want, err := snapshot.DecodeEntry(data)
+			if err != nil || key != "k" || !bytes.Equal(payload, want) {
+				t.Fatalf("store accepted a corrupt entry (decode err %v, key %q)", err, key)
+			}
+		} else if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+			t.Fatal("store rejected an entry but did not evict the file")
+		}
+
+		// Never poisoned: a fresh save must round-trip regardless.
+		st.SaveResult("k", []byte("fresh"))
+		if p, ok := st.LoadResult("k"); !ok || string(p) != "fresh" {
+			t.Fatalf("store poisoned after corrupt read: ok=%v payload=%q", ok, p)
+		}
+	})
+}

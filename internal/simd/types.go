@@ -1,0 +1,145 @@
+// Package simd implements the simulation-as-a-service daemon behind
+// cmd/nocsimd: an HTTP/JSON server that accepts run and sweep requests,
+// coalesces concurrent identical requests across clients by
+// config.Config.Key(), executes them through the shared exp.Runner +
+// forkrun machinery, and backs both result summaries and golden warm
+// checkpoints with an on-disk content-addressed store, so dedup and warm
+// images survive restarts.
+//
+// Wire protocol (all JSON):
+//
+//	POST /run            {"points": [RunSpec, ...]} -> SubmitResponse
+//	GET  /jobs/{id}?cursor=N                        -> JobStatus
+//	GET  /results/{key}  (key path-escaped)         -> stored summary JSON
+//	GET  /healthz                                   -> {"status": "ok"}
+//	GET  /statsz                                    -> StatsSnapshot
+//
+// A single run is a one-point sweep; nothing distinguishes them beyond the
+// length of Points. Errors come back as {"error": "..."} with a 4xx/5xx
+// status.
+package simd
+
+import (
+	"encoding/json"
+
+	"nocmem/internal/config"
+	"nocmem/internal/exp"
+)
+
+// RunSpec is one requested simulation (or estimate): a complete
+// configuration plus the application placement, named either by a Table 2
+// workload id or by an explicit per-tile application list. The daemon
+// applies no defaults — clients send fully-specified configs (the client
+// library starts from Baseline32) — so the config's Key() is the dedup and
+// storage key with no server-side rewriting.
+type RunSpec struct {
+	Config config.Config `json:"config"`
+	// Workload selects a Table 2 workload (1-18). Mutually exclusive with
+	// Apps.
+	Workload int `json:"workload,omitempty"`
+	// Apps places the named built-in application profiles on tiles 0..n-1
+	// (remaining tiles stay idle).
+	Apps []string `json:"apps,omitempty"`
+	// Estimate answers from the closed-form analytic model instead of
+	// simulating — microseconds instead of minutes, within the model's
+	// calibration band only.
+	Estimate bool `json:"estimate,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted job.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Keys are the store/dedup keys of the submitted points, in order;
+	// results can be fetched from GET /results/{key} once the job is done.
+	Keys []string `json:"keys"`
+}
+
+// RunRequest is the body of POST /run: one or more points forming a job.
+type RunRequest struct {
+	Points []RunSpec `json:"points"`
+}
+
+// Event is one progress line of a job, addressed by a polling cursor.
+type Event struct {
+	Seq int    `json:"seq"`
+	Msg string `json:"msg"`
+}
+
+// Result sources.
+const (
+	SourceSim      = "sim"      // freshly simulated (or coalesced onto an in-flight identical run)
+	SourceStore    = "store"    // served from the on-disk result store, no simulation
+	SourceEstimate = "estimate" // closed-form analytic model, no simulation
+)
+
+// PointResult is the outcome of one point of a job.
+type PointResult struct {
+	Key    string `json:"key"`
+	Label  string `json:"label"`
+	Source string `json:"source,omitempty"`
+	// Summary is the sim.Summary JSON of the run (or estimate). Byte-for-
+	// byte identical to what a direct exp.Runner execution summarizes,
+	// which is what the multi-client harness asserts.
+	Summary json.RawMessage `json:"summary,omitempty"`
+	Err     string          `json:"error,omitempty"`
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed" // at least one point errored
+)
+
+// JobStatus is the polling view of a job: status, the progress events past
+// the requested cursor, and the per-point results populated so far.
+type JobStatus struct {
+	ID     string  `json:"id"`
+	Status string  `json:"status"`
+	Events []Event `json:"events"`
+	// NextCursor is the cursor to pass on the next poll to see only new
+	// events.
+	NextCursor int           `json:"next_cursor"`
+	Results    []PointResult `json:"results"`
+}
+
+// Done reports whether the job reached a terminal state.
+func (js *JobStatus) Done() bool {
+	return js.Status == StatusDone || js.Status == StatusFailed
+}
+
+// Err returns the first point error of a finished job, if any.
+func (js *JobStatus) Err() string {
+	for _, r := range js.Results {
+		if r.Err != "" {
+			return r.Err
+		}
+	}
+	return ""
+}
+
+// StoreStats counts on-disk store traffic.
+type StoreStats struct {
+	ResultHits   int64 `json:"result_hits"`
+	ResultMisses int64 `json:"result_misses"`
+	SnapHits     int64 `json:"snap_hits"`
+	SnapMisses   int64 `json:"snap_misses"`
+	// Evictions counts corrupt entries ejected at read time (results and
+	// snapshots; forkrun-level restore-failure evictions are counted in
+	// Runner.SnapshotEvictions).
+	Evictions int64 `json:"evictions"`
+}
+
+// StatsSnapshot is the /statsz payload: server-, store- and runner-level
+// counters, enough for a client to prove exactly-once execution and warm-
+// checkpoint reuse from the outside.
+type StatsSnapshot struct {
+	Jobs         int64 `json:"jobs"`
+	Points       int64 `json:"points"`
+	InflightJobs int64 `json:"inflight_jobs"`
+	Draining     bool  `json:"draining"`
+
+	Store  StoreStats `json:"store"`
+	Runner exp.Stats  `json:"runner"`
+}

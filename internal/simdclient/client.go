@@ -1,0 +1,159 @@
+// Package simdclient is the Go client of the nocsimd simulation daemon
+// (internal/simd): submit run/sweep jobs, poll their progress events, and
+// fetch stored result summaries.
+package simdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"nocmem/internal/simd"
+)
+
+// Client talks to one daemon. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	// Poll is the job-status polling interval of Wait (default 10ms —
+	// the daemon is usually local; raise it for remote daemons).
+	Poll time.Duration
+}
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8347").
+func New(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}, Poll: 10 * time.Millisecond}
+}
+
+// Close releases idle connections.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// apiError decodes the daemon's {"error": ...} body.
+func apiError(resp *http.Response, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("simdclient: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("simdclient: %s", resp.Status)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = data
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats fetches the daemon's /statsz counters.
+func (c *Client) Stats(ctx context.Context) (simd.StatsSnapshot, error) {
+	var s simd.StatsSnapshot
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &s)
+	return s, err
+}
+
+// Submit posts a job and returns its id and per-point store keys.
+func (c *Client) Submit(ctx context.Context, req simd.RunRequest) (*simd.SubmitResponse, error) {
+	var resp simd.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/run", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job polls one job, returning events past cursor.
+func (c *Client) Job(ctx context.Context, id string, cursor int) (*simd.JobStatus, error) {
+	var js simd.JobStatus
+	path := fmt.Sprintf("/jobs/%s?cursor=%d", url.PathEscape(id), cursor)
+	if err := c.do(ctx, http.MethodGet, path, nil, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Wait polls a job until it reaches a terminal state, forwarding each new
+// progress event to onEvent (may be nil).
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(simd.Event)) (*simd.JobStatus, error) {
+	cursor := 0
+	for {
+		js, err := c.Job(ctx, id, cursor)
+		if err != nil {
+			return nil, err
+		}
+		if onEvent != nil {
+			for _, e := range js.Events {
+				onEvent(e)
+			}
+		}
+		cursor = js.NextCursor
+		if js.Done() {
+			return js, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.Poll):
+		}
+	}
+}
+
+// Run submits a job and waits for it to finish.
+func (c *Client) Run(ctx context.Context, req simd.RunRequest) (*simd.JobStatus, error) {
+	resp, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, resp.ID, nil)
+}
+
+// Result fetches the stored summary JSON for a run key, byte for byte as
+// the daemon persisted it.
+func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/results/"+url.PathEscape(key), nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}

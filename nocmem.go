@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nocmem/internal/config"
+	"nocmem/internal/exp"
 	"nocmem/internal/forkrun"
 	"nocmem/internal/par"
 	"nocmem/internal/sim"
@@ -127,6 +129,7 @@ func RunApps(cfg Config, apps []Profile) (*Result, error) {
 	if len(apps) > nodes {
 		return nil, fmt.Errorf("nocmem: %d applications for %d tiles", len(apps), nodes)
 	}
+	facadeRuns.Add(1)
 	padded := make([]Profile, nodes)
 	copy(padded, apps)
 	if ShareWarmup() {
@@ -197,6 +200,36 @@ func Parallelism() int {
 	return parallelism
 }
 
+// RunStats reports the cache and warmup provenance of the package-level run
+// helpers, in the same shape the simulation daemon's /statsz uses for its
+// runner (exp.Stats): how many simulations executed, how many requests the
+// alone-IPC cache absorbed, and — when warmup sharing is on — how many runs
+// forked from a shared warm checkpoint instead of re-executing the warmup.
+// Surfaced by sweep -v.
+type RunStats = exp.Stats
+
+// Stats returns the facade's provenance counters, accumulated since process
+// start across every package-level run helper.
+func Stats() RunStats {
+	fs := forkCache.Stats()
+	executed := facadeRuns.Load()
+	hits := aloneHits.Load()
+	return RunStats{
+		Runs:              executed + hits,
+		Executed:          executed,
+		CacheHits:         hits,
+		Forked:            fs.Forked,
+		Warmups:           fs.Warmups,
+		SnapshotMemHits:   fs.MemHits,
+		SnapshotDiskHits:  fs.DiskHits,
+		SnapshotEvictions: fs.Evictions,
+	}
+}
+
+// facadeRuns counts simulations executed through RunApps; aloneHits counts
+// AloneIPC requests served from the memoized alone cache.
+var facadeRuns, aloneHits atomic.Int64
+
 // aloneCache memoizes alone-run IPCs per (config, application); the alone
 // IPC of an application is independent of its co-runners and of the
 // schemes (alone runs always use the unprioritized baseline, matching the
@@ -224,6 +257,7 @@ func AloneIPC(cfg Config, app Profile) (float64, error) {
 	if prev, loaded := aloneCache.LoadOrStore(key, e); loaded {
 		pe := prev.(*aloneEntry)
 		<-pe.done
+		aloneHits.Add(1)
 		return pe.ipc, pe.err
 	}
 	defer close(e.done)
