@@ -7,14 +7,17 @@
 # gate (closed-form estimates cross-checked against short simulated runs,
 # plus the golden-scenario and divergence-oracle unit tests), the simulation
 # daemon's smoke gate (one simulated run, one sub-50ms store hit, one
-# closed-form estimate through a real HTTP round trip), and a smoke run of
-# the perf harness (micro-benchmarks plus the sharded-vs-sequential and
-# bursty dense/event/sharded byte-equality gates, regression-gated; the full
+# closed-form estimate through a real HTTP round trip), the distributed
+# smoke gate (a coordinator leasing a sweep to two worker processes, one
+# SIGKILLed while holding leases — the merged output must be byte-identical
+# to direct execution), and a smoke run of the perf harness
+# (micro-benchmarks plus the sharded-vs-sequential and bursty
+# dense/event/sharded byte-equality gates, regression-gated; the full
 # harness writing BENCH_8.json is `make bench`).
 
 GO ?= go
 
-.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke estimate-smoke simd-smoke profile ci
+.PHONY: all build vet test race fork-race bench bench-smoke shard-scaling-smoke estimate-smoke simd-smoke dist-smoke profile ci
 
 all: build
 
@@ -77,6 +80,15 @@ simd-smoke:
 	$(GO) build ./cmd/nocsimd
 	$(GO) run ./cmd/nocsimd -selftest
 
+# The distributed fault-tolerance gate: boot an in-process coordinator,
+# spawn two real worker processes that join it over HTTP, SIGKILL one while
+# it holds two leases, and require the sweep to finish with every merged
+# summary byte-identical to direct single-process execution, at least one
+# lease recovered by expiry, and zero duplicate-completion byte mismatches.
+dist-smoke:
+	$(GO) build ./cmd/nocsimd
+	$(GO) run ./cmd/nocsimd -dist-smoke
+
 # Profile the harness itself: a quick pass with CPU and heap profiles written
 # next to the repo, ready for `go tool pprof cpu.pprof`. See ARCHITECTURE.md
 # ("Profiling workflow") for how to read the output.
@@ -85,4 +97,4 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
-ci: vet build fork-race race shard-scaling-smoke estimate-smoke simd-smoke bench-smoke
+ci: vet build fork-race race shard-scaling-smoke estimate-smoke simd-smoke dist-smoke bench-smoke

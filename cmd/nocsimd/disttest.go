@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"nocmem/internal/config"
+	"nocmem/internal/exp"
+	"nocmem/internal/simd"
+	"nocmem/internal/simdclient"
+)
+
+// runDistSmoke is the `make dist-smoke` gate: a real coordinator daemon plus
+// two real worker *processes* (this binary re-executed with -join), a small
+// sweep grid, and a SIGKILL of one worker while it holds unfinished leases.
+// The sweep must still complete — the dead worker's leases expire and are
+// re-executed by the survivor — and every merged result must be
+// byte-identical to a direct single-process execution of the same grid.
+func runDistSmoke(jobs int) error {
+	dir, err := os.MkdirTemp("", "nocsimd-dist-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Short lease TTL: the killed worker's points must come back within the
+	// smoke's patience, not a production-grade two minutes.
+	srv, err := simd.New(simd.Options{
+		StoreDir:    dir,
+		ShareWarmup: true,
+		Logf:        log.Printf,
+		Distributed: true,
+		LeaseTTL:    2 * time.Second,
+		LeaseBatch:  2,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Real worker processes: -j 1 and a lease batch of 2 means each worker
+	// executes one point while holding a second untouched lease, so a
+	// SIGKILL while Outstanding >= 2 is guaranteed to strand at least one
+	// lease that only expiry can recover.
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	spawn := func(name string) (*exec.Cmd, error) {
+		cmd := exec.Command(exe, "-join", base, "-worker-name", name, "-j", "1", "-lease-batch", "2")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawning worker %s: %w", name, err)
+		}
+		return cmd, nil
+	}
+	workers := map[string]*exec.Cmd{}
+	for _, name := range []string{"smokeA", "smokeB"} {
+		cmd, err := spawn(name)
+		if err != nil {
+			return err
+		}
+		workers[name] = cmd
+		defer func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	cl := simdclient.New(base)
+	defer cl.Close()
+
+	points := smokeGrid()
+	sub, err := cl.Submit(ctx, simd.RunRequest{Points: points})
+	if err != nil {
+		return err
+	}
+	log.Printf("submitted %d points as job %s", len(points), sub.ID)
+
+	// Kill whichever worker first holds two unfinished leases.
+	victim := ""
+	for victim == "" {
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if st.Dist != nil {
+			for _, w := range st.Dist.Workers {
+				if w.Outstanding >= 2 {
+					victim = w.ID
+					break
+				}
+			}
+			if victim == "" && st.Dist.Pending == 0 && st.Dist.Leased == 0 && st.Runner.RemoteCompletions >= int64(len(points)) {
+				return fmt.Errorf("sweep finished before any worker held 2 leases — grid too small to exercise the kill")
+			}
+		}
+		if victim == "" {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	name := victim[:strings.IndexByte(victim, '#')]
+	cmd := workers[name]
+	if cmd == nil {
+		return fmt.Errorf("victim %s maps to no spawned worker", victim)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	log.Printf("killed worker %s (SIGKILL) while it held leases", victim)
+
+	js, err := cl.Wait(ctx, sub.ID, func(e simd.Event) { log.Printf("job: %s", e.Msg) })
+	if err != nil {
+		return err
+	}
+	if e := js.Err(); e != "" {
+		return fmt.Errorf("sweep failed after worker kill: %s", e)
+	}
+	if js.Status != simd.StatusDone {
+		return fmt.Errorf("job status %q, want %q", js.Status, simd.StatusDone)
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Runner.LeasesExpired < 1 {
+		return fmt.Errorf("no lease expired despite killing a worker holding %d+ leases", 2)
+	}
+	if st.Dist == nil || st.Dist.Mismatches != 0 {
+		return fmt.Errorf("duplicate-completion byte mismatches: %+v", st.Dist)
+	}
+
+	// Byte-identity: every merged result must equal a direct single-process
+	// execution (same fork mode as the workers).
+	direct := exp.NewRunner(exp.Options{Parallelism: jobs, ShareWarmup: true})
+	for i, sp := range points {
+		rp, err := simd.ResolveSpec(sp)
+		if err != nil {
+			return err
+		}
+		want, err := simd.ExecuteSpec(direct, rp)
+		if err != nil {
+			return err
+		}
+		got, err := cl.Result(ctx, rp.Key)
+		if err != nil {
+			return fmt.Errorf("fetching merged result %d (%s): %w", i, rp.Label, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("point %d (%s): merged bytes differ from direct execution (%d vs %d bytes)", i, rp.Label, len(got), len(want))
+		}
+	}
+	log.Printf("all %d merged results byte-identical to direct execution (%d leases expired, %d duplicates absorbed)",
+		len(points), st.Runner.LeasesExpired, st.Runner.DuplicateCompletions)
+	return nil
+}
+
+// smokeGrid is the dist-smoke sweep: six small points over the scheme knobs.
+func smokeGrid() []simd.RunSpec {
+	cfg := config.Baseline16()
+	cfg.Run.WarmupCycles = 4_000
+	cfg.Run.MeasureCycles = 8_000
+	cfg.S1.UpdatePeriod = 2_000
+	apps := []string{"mcf", "lbm", "milc", "mcf"}
+	var points []simd.RunSpec
+	for _, s := range [][2]bool{{false, false}, {true, false}, {false, true}} {
+		points = append(points, simd.RunSpec{Config: cfg.WithSchemes(s[0], s[1]), Apps: apps})
+	}
+	for _, f := range []float64{0.8, 1.0, 1.2} {
+		c := cfg.WithSchemes(true, true)
+		c.S1.ThresholdFactor = f
+		points = append(points, simd.RunSpec{Config: c, Apps: apps})
+	}
+	return points
+}

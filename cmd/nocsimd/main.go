@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -31,6 +32,7 @@ import (
 
 	"nocmem/internal/config"
 	"nocmem/internal/simd"
+	"nocmem/internal/simdclient"
 )
 
 func main() {
@@ -44,6 +46,13 @@ func main() {
 		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "how long a SIGTERM drain waits for in-flight jobs")
 		selftest = flag.Bool("selftest", false, "run the in-process smoke test (make simd-smoke) and exit")
 		printCfg = flag.Int("print-config", 0, "print the 16- or 32-core baseline config as JSON (for use in /run requests) and exit")
+
+		coord      = flag.Bool("coordinator", false, "run as a distributed-sweep coordinator: lease simulation points of submitted jobs to joined workers instead of executing them locally")
+		leaseTTL   = flag.Duration("lease-ttl", 2*time.Minute, "coordinator: re-lease a point whose worker has not completed it within this TTL")
+		leaseBatch = flag.Int("lease-batch", 4, "coordinator: max points handed out per lease grant; worker mode: points requested per lease poll (0 = parallelism)")
+		join       = flag.String("join", "", "worker mode: join the coordinator daemon at this base URL (e.g. http://10.0.0.1:8347), execute leased points, exit on SIGINT/SIGTERM")
+		workerName = flag.String("worker-name", "", "worker mode: label on the coordinator's /statsz (default hostname-pid)")
+		distSmoke  = flag.Bool("dist-smoke", false, "run the distributed smoke test (make dist-smoke): coordinator + two worker processes, one killed mid-sweep, byte-identical merged output")
 	)
 	flag.Parse()
 
@@ -73,11 +82,29 @@ func main() {
 		return
 	}
 
+	if *distSmoke {
+		if err := runDistSmoke(*jobs); err != nil {
+			log.Fatalf("dist-smoke: %v", err)
+		}
+		log.Print("dist-smoke: PASS")
+		return
+	}
+
+	if *join != "" {
+		if err := runWorkerMode(*join, *workerName, *jobs, *leaseBatch, *fork); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	srv, err := simd.New(simd.Options{
 		StoreDir:    *store,
 		Parallelism: *jobs,
 		ShareWarmup: *fork,
 		Logf:        log.Printf,
+		Distributed: *coord,
+		LeaseTTL:    *leaseTTL,
+		LeaseBatch:  *leaseBatch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +116,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s (store %s, fork=%v)", *addr, *store, *fork)
+	if *coord {
+		log.Printf("serving on %s as coordinator (store %s, fork=%v, lease ttl %s)", *addr, *store, *fork, *leaseTTL)
+	} else {
+		log.Printf("serving on %s (store %s, fork=%v)", *addr, *store, *fork)
+	}
 
 	select {
 	case err := <-errc:
@@ -112,4 +143,34 @@ func main() {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("listener: %v", err)
 	}
+}
+
+// runWorkerMode joins a coordinator and executes leased sweep points until
+// SIGINT/SIGTERM. A worker holds no listener and no store of its own — the
+// coordinator owns the merged results; the worker only computes.
+func runWorkerMode(base, name string, jobs, batch int, fork bool) error {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := simdclient.New(base)
+	defer c.Close()
+	log.Printf("joining coordinator %s as %q (fork=%v)", base, name, fork)
+	err := simdclient.RunWorker(ctx, c, simdclient.WorkerOptions{
+		Name:        name,
+		Parallelism: jobs,
+		MaxBatch:    batch,
+		ShareWarmup: fork,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	log.Print("worker: signal received, exiting")
+	return nil
 }

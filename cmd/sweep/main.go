@@ -32,6 +32,28 @@ type point struct {
 	cfg   nocmem.Config
 }
 
+// row is one printed sweep-table line. Both the in-process path and the
+// distributed path (dist.go) fill the same struct and print through
+// printRows, so their tables are byte-identical by construction.
+type row struct {
+	norm, netAvg, s1Pct, s2Pct float64
+}
+
+// printRows renders the sweep table; skipped may be nil.
+func printRows(points []point, skipped []bool, rows []row) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "point\tnormalized WS\tnet avg\ts1 tag%%\ts2 tag%%\n")
+	for i, pt := range points {
+		if skipped != nil && skipped[i] {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\n", pt.label)
+			continue
+		}
+		r := rows[i]
+		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, r.norm, r.netAvg, r.s1Pct, r.s2Pct)
+	}
+	tw.Flush()
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
@@ -47,6 +69,8 @@ func main() {
 		est     = flag.Bool("estimate", false, "answer the whole sweep from the closed-form analytic model instead of simulating")
 		prune   = flag.Float64("prune-estimate", 0, "skip sweep points whose estimated |normalized WS delta| vs the first point is below this threshold (0 = run everything)")
 		verbose = flag.Bool("v", false, "print cache/warmup provenance counters after the sweep (simulated vs cached runs, shared warmups, forks)")
+		coord   = flag.String("coordinator", "", "run the sweep distributed: submit all points to the coordinator daemon at this base URL (start one with nocsimd -coordinator; join workers with nocsimd -join)")
+		workers = flag.Int("workers", 0, "with -coordinator: also contribute this many in-process workers; without it: boot a local coordinator plus this many in-process workers (distributed execution without external daemons)")
 	)
 	flag.Parse()
 	if *steal != "on" && *steal != "off" {
@@ -57,6 +81,13 @@ func main() {
 	}
 	if *prune < 0 {
 		log.Fatalf("bad -prune-estimate threshold %g (want >= 0)", *prune)
+	}
+	distributed := *coord != "" || *workers > 0
+	if distributed && (*est || *prune != 0) {
+		log.Fatal("-coordinator/-workers are mutually exclusive with -estimate and -prune-estimate: estimates answer locally in microseconds, there is nothing to distribute")
+	}
+	if *workers < 0 {
+		log.Fatalf("bad -workers count %d (want >= 0)", *workers)
 	}
 	nocmem.SetParallelism(*jobs)
 	nocmem.SetShareWarmup(*fork)
@@ -156,6 +187,17 @@ func main() {
 		return
 	}
 
+	if distributed {
+		runDistributedSweep(distOptions{
+			coordinator: *coord,
+			workers:     *workers,
+			jobs:        *jobs,
+			fork:        *fork,
+			verbose:     *verbose,
+		}, points, w)
+		return
+	}
+
 	// -prune-estimate skips cycle-accurate points whose estimated normalized
 	// WS sits within threshold of the first point's estimate: the model says
 	// the knob does not move the headline number there, so the expensive
@@ -190,9 +232,6 @@ func main() {
 	// order. Each point's goroutine holds its pool slot for its whole body,
 	// so a point waiting on another point's memoized alone run never blocks
 	// the owner from progressing.
-	type row struct {
-		norm, netAvg, s1Pct, s2Pct float64
-	}
 	rows := make([]row, len(points))
 	g := par.NewGroup(nocmem.Parallelism())
 	for i, pt := range points {
@@ -248,17 +287,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "point\tnormalized WS\tnet avg\ts1 tag%%\ts2 tag%%\n")
-	for i, pt := range points {
-		if skipped[i] {
-			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\n", pt.label)
-			continue
-		}
-		r := rows[i]
-		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.1f\n", pt.label, r.norm, r.netAvg, r.s1Pct, r.s2Pct)
-	}
-	tw.Flush()
+	printRows(points, skipped, rows)
 
 	if *verbose {
 		st := nocmem.Stats()

@@ -98,6 +98,9 @@ type Runner struct {
 
 	// Cache-provenance counters (see Stats).
 	reqs, hits, executed atomic.Int64
+
+	// Lease-provenance counters (see Stats and AddLeaseStats).
+	leasesGranted, leasesExpired, leasesRelayed, remoteDone, dupDone atomic.Int64
 }
 
 // Stats reports where a Runner's results came from: how many run requests it
@@ -124,21 +127,53 @@ type Stats struct {
 	SnapshotMemHits   int64 `json:"snapshot_mem_hits"`
 	SnapshotDiskHits  int64 `json:"snapshot_disk_hits"`
 	SnapshotEvictions int64 `json:"snapshot_evictions"`
+
+	// Distributed-sweep lease provenance, populated through AddLeaseStats by
+	// the simulation daemon's coordinator (internal/simd); all zero on a
+	// purely local runner. LeasesGranted counts points handed to workers
+	// (re-grants of the same point included); LeasesExpired counts leases
+	// reclaimed after their TTL passed without a completion; LeasesRelayed
+	// counts points put back on the queue for another worker (expiry or a
+	// reported failure); RemoteCompletions counts results accepted from
+	// workers; DuplicateCompletions counts redundant completions for points
+	// that had already finished — absorbed idempotently, never re-merged.
+	LeasesGranted        int64 `json:"leases_granted,omitempty"`
+	LeasesExpired        int64 `json:"leases_expired,omitempty"`
+	LeasesRelayed        int64 `json:"leases_relayed,omitempty"`
+	RemoteCompletions    int64 `json:"remote_completions,omitempty"`
+	DuplicateCompletions int64 `json:"duplicate_completions,omitempty"`
 }
 
 // Stats returns the runner's cache-provenance counters.
 func (r *Runner) Stats() Stats {
 	fs := r.forks.Stats()
 	return Stats{
-		Runs:              r.reqs.Load(),
-		Executed:          r.executed.Load(),
-		CacheHits:         r.hits.Load(),
-		Forked:            fs.Forked,
-		Warmups:           fs.Warmups,
-		SnapshotMemHits:   fs.MemHits,
-		SnapshotDiskHits:  fs.DiskHits,
-		SnapshotEvictions: fs.Evictions,
+		Runs:                 r.reqs.Load(),
+		Executed:             r.executed.Load(),
+		CacheHits:            r.hits.Load(),
+		Forked:               fs.Forked,
+		Warmups:              fs.Warmups,
+		SnapshotMemHits:      fs.MemHits,
+		SnapshotDiskHits:     fs.DiskHits,
+		SnapshotEvictions:    fs.Evictions,
+		LeasesGranted:        r.leasesGranted.Load(),
+		LeasesExpired:        r.leasesExpired.Load(),
+		LeasesRelayed:        r.leasesRelayed.Load(),
+		RemoteCompletions:    r.remoteDone.Load(),
+		DuplicateCompletions: r.dupDone.Load(),
 	}
+}
+
+// AddLeaseStats accumulates distributed-sweep lease provenance into the
+// runner's Stats. Called by the coordinator's lease table (internal/simd) so
+// lease traffic surfaces alongside the execution counters in /statsz and
+// sweep -v; a purely local runner never sees a call.
+func (r *Runner) AddLeaseStats(granted, expired, relayed, completed, duplicate int64) {
+	r.leasesGranted.Add(granted)
+	r.leasesExpired.Add(expired)
+	r.leasesRelayed.Add(relayed)
+	r.remoteDone.Add(completed)
+	r.dupDone.Add(duplicate)
 }
 
 // SetSnapshotStore backs the runner's warmup-sharing fork cache with a

@@ -55,6 +55,16 @@ type Summary struct {
 
 	S1TaggedFrac float64 `json:"s1_tagged_frac"`
 	S2TaggedFrac float64 `json:"s2_tagged_frac"`
+
+	// Raw scheme counters behind the tagged fractions. Downstream consumers
+	// that recompute derived ratios (the distributed sweep's table path)
+	// need the integers, not the rounded fractions, to reproduce a local
+	// run's output byte for byte. omitempty keeps summaries of runs that
+	// never exercised a scheme identical to earlier versions.
+	S1Tagged  int64 `json:"s1_tagged,omitempty"`
+	S1Checked int64 `json:"s1_checked,omitempty"`
+	S2Tagged  int64 `json:"s2_tagged,omitempty"`
+	S2Checked int64 `json:"s2_checked,omitempty"`
 }
 
 // Summary digests the result for serialization.
@@ -65,6 +75,10 @@ func (r *Result) Summary() Summary {
 		Scheme2Enabled: r.Cfg.S2.Enabled,
 		NetAvgLatency:  r.Net.AvgLatency(),
 		NetDelivered:   r.Net.Delivered,
+		S1Tagged:       r.S1Tagged,
+		S1Checked:      r.S1Checked,
+		S2Tagged:       r.S2Tagged,
+		S2Checked:      r.S2Checked,
 	}
 	if r.S1Checked > 0 {
 		s.S1TaggedFrac = float64(r.S1Tagged) / float64(r.S1Checked)

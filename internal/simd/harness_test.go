@@ -81,6 +81,17 @@ type harness struct {
 	g0     int       // goroutines at makeHarness, the leak baseline
 	desc   string
 	parall int
+
+	// coordinator-mode knobs (zero values boot a plain daemon)
+	distributed bool
+	leaseTTL    time.Duration
+	jobTTL      time.Duration
+
+	// stopWorkers cancels every worker started with startWorker; workerWG
+	// waits for their loops to return.
+	stopWorkers context.CancelFunc
+	workerCtx   context.Context
+	workerWG    sync.WaitGroup
 }
 
 // makeHarness boots a daemon on dir (t.TempDir() if empty) and connects n
@@ -95,6 +106,41 @@ func makeHarness(t *testing.T, n int, dir string, parallelism int) *harness {
 	return h
 }
 
+// makeDistHarness boots a coordinator daemon (Options.Distributed) with the
+// given lease TTL and connects n clients. Join workers with startWorker.
+func makeDistHarness(t *testing.T, n int, leaseTTL time.Duration) *harness {
+	t.Helper()
+	h := &harness{
+		t: t, dir: t.TempDir(), g0: runtime.NumGoroutine(),
+		distributed: true, leaseTTL: leaseTTL,
+	}
+	h.boot(n)
+	return h
+}
+
+// startWorker joins one in-process worker loop to the coordinator. All
+// workers stop (and are waited for) in end()/shutdown.
+func (h *harness) startWorker(name string, parallelism int) {
+	h.t.Helper()
+	if h.workerCtx == nil {
+		h.workerCtx, h.stopWorkers = context.WithCancel(context.Background())
+	}
+	c := simdclient.New(h.ts.URL)
+	h.workerWG.Add(1)
+	go func() {
+		defer h.workerWG.Done()
+		defer c.Close()
+		simdclient.RunWorker(h.workerCtx, c, simdclient.WorkerOptions{
+			Name:        name,
+			Parallelism: parallelism,
+			ShareWarmup: true,
+			Logf: func(format string, args ...any) {
+				h.t.Logf(name+": "+format, args...)
+			},
+		})
+	}()
+}
+
 // boot starts (or restarts) the daemon and clients on h.dir.
 func (h *harness) boot(n int) {
 	h.t.Helper()
@@ -103,6 +149,9 @@ func (h *harness) boot(n int) {
 		Parallelism: h.parall,
 		ShareWarmup: true,
 		Logf:        h.t.Logf,
+		Distributed: h.distributed,
+		LeaseTTL:    h.leaseTTL,
+		JobTTL:      h.jobTTL,
 	})
 	if err != nil {
 		h.t.Fatal(err)
@@ -161,6 +210,11 @@ func (h *harness) kill() {
 }
 
 func (h *harness) close() {
+	if h.stopWorkers != nil {
+		h.stopWorkers()
+		h.workerWG.Wait()
+		h.workerCtx, h.stopWorkers = nil, nil
+	}
 	for _, c := range h.clients {
 		c.Close()
 	}

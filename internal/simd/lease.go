@@ -1,0 +1,351 @@
+package simd
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nocmem/internal/exp"
+)
+
+// The coordinator's lease table: the heart of distributed sweep execution.
+//
+// Every simulation point of a distributed job that is not already in the
+// store becomes one distPoint, keyed by its exp.RunKey. Workers poll for
+// batches of pending points; each grant carries a TTL, and a point whose
+// lease expires without a completion goes back on the queue for the next
+// polling worker. Completions are accepted idempotently: the first valid
+// completion for a key is merged into the store and fulfills every job slot
+// waiting on the key; later completions (a slow worker finishing after its
+// lease was re-issued, a duplicated RPC) are discarded after a byte-equality
+// check against the merged result. Because every execution path computes a
+// deterministic function of the key, re-leasing, duplication and worker
+// death can change *who* computes a point and *how often*, but never *what*
+// bytes are merged — the table only has to pick the first completion, not
+// reconcile divergent ones.
+//
+// Failures reported by workers (a simulation error) re-lease the point up to
+// maxFailures times before the point — and with it every waiting job slot —
+// fails for good. Expiries do not count against that budget: a slow or dead
+// worker is a scheduling event, not evidence the point itself is poisoned.
+//
+// Expiry is reaped lazily: every lease, completion and stats call first
+// sweeps for overdue leases. Workers poll continuously, so a dead worker's
+// points return to the queue within one TTL of real traffic with no
+// background goroutine to leak.
+
+type distState int
+
+const (
+	distPending distState = iota // on the queue, waiting for a worker
+	distLeased                   // handed to a worker, deadline armed
+	distDone                     // merged (or failed); retained briefly for duplicate detection
+)
+
+// distPoint is one config point moving through the lease table.
+type distPoint struct {
+	spec    RunSpec
+	label   string
+	key     string
+	state   distState
+	worker  string
+	leaseID int64
+	// deadline is the lease expiry (distLeased) — after it passes the point
+	// is re-queued for another worker.
+	deadline time.Time
+	failures int
+	failed   bool
+	doneAt   time.Time
+	// fulfill delivers the point's result to every job slot waiting on the
+	// key (multiple jobs, or one job listing the key twice, share one
+	// execution).
+	fulfill []func(PointResult)
+}
+
+// workerInfo is one registered worker's registry entry.
+type workerInfo struct {
+	name      string
+	lastSeen  time.Time
+	granted   int64
+	completed int64
+}
+
+// leaseTable coordinates workers over the pending points. Safe for
+// concurrent use; fulfillment callbacks and store writes run outside the
+// table lock.
+type leaseTable struct {
+	ttl         time.Duration
+	maxFailures int
+	batch       int
+	// stats receives lease/relay provenance (exp.Stats counters).
+	stats *exp.Runner
+	// save merges an accepted summary into the content-addressed store.
+	save func(key string, summary []byte)
+	// lookup re-reads a merged result for duplicate byte-checking.
+	lookup func(key string) ([]byte, bool)
+	logf   func(format string, args ...any)
+
+	mu         sync.Mutex
+	points     map[string]*distPoint
+	queue      []*distPoint
+	workers    map[string]*workerInfo
+	leaseSeq   int64
+	workerSeq  int64
+	mismatches int64
+	closed     bool
+}
+
+func newLeaseTable(ttl time.Duration, batch int, stats *exp.Runner, save func(string, []byte), lookup func(string) ([]byte, bool), logf func(string, ...any)) *leaseTable {
+	if ttl <= 0 {
+		ttl = 2 * time.Minute
+	}
+	if batch <= 0 {
+		batch = 4
+	}
+	return &leaseTable{
+		ttl:         ttl,
+		maxFailures: 3,
+		batch:       batch,
+		stats:       stats,
+		save:        save,
+		lookup:      lookup,
+		logf:        logf,
+		points:      make(map[string]*distPoint),
+		workers:     make(map[string]*workerInfo),
+	}
+}
+
+// register records a worker and hands back its unique id.
+func (t *leaseTable) register(name string, now time.Time) string {
+	if name == "" {
+		name = "worker"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.workerSeq++
+	id := fmt.Sprintf("%s#%d", name, t.workerSeq)
+	t.workers[id] = &workerInfo{name: name, lastSeen: now}
+	return id
+}
+
+// touchLocked updates (auto-creating after a coordinator restart) a worker's
+// registry entry. Caller holds t.mu.
+func (t *leaseTable) touchLocked(id string, now time.Time) *workerInfo {
+	wi := t.workers[id]
+	if wi == nil {
+		wi = &workerInfo{name: id, lastSeen: now}
+		t.workers[id] = wi
+	}
+	wi.lastSeen = now
+	return wi
+}
+
+// reapLocked requeues expired leases and drops long-done points. Caller
+// holds t.mu.
+func (t *leaseTable) reapLocked(now time.Time) {
+	var expired, relayed int64
+	for key, p := range t.points {
+		switch p.state {
+		case distLeased:
+			if p.deadline.Before(now) {
+				t.logf("lease: point %s expired on worker %s, re-leasing", p.label, p.worker)
+				p.state = distPending
+				p.worker = ""
+				t.queue = append(t.queue, p)
+				expired++
+				relayed++
+			}
+		case distDone:
+			// Done points linger only to classify late duplicates; the
+			// store answers future jobs. 10 TTLs is far past any straggler.
+			if now.Sub(p.doneAt) > 10*t.ttl {
+				delete(t.points, key)
+			}
+		}
+	}
+	if expired > 0 {
+		t.stats.AddLeaseStats(0, expired, relayed, 0, 0)
+	}
+}
+
+// enqueue adds one point (or attaches to an already-queued identical key)
+// and registers the callback that will receive its result.
+func (t *leaseTable) enqueue(rp ResolvedSpec, fulfill func(PointResult)) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		fulfill(PointResult{Key: rp.Key, Label: rp.Label, Err: "coordinator aborted"})
+		return
+	}
+	if p, ok := t.points[rp.Key]; ok && p.state != distDone {
+		p.fulfill = append(p.fulfill, fulfill)
+		t.mu.Unlock()
+		return
+	}
+	p := &distPoint{spec: rp.Spec, label: rp.Label, key: rp.Key, state: distPending, fulfill: []func(PointResult){fulfill}}
+	t.points[rp.Key] = p
+	t.queue = append(t.queue, p)
+	t.mu.Unlock()
+}
+
+// grant hands up to max pending points to a worker.
+func (t *leaseTable) grant(worker string, max int, now time.Time) []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touchLocked(worker, now)
+	t.reapLocked(now)
+	if t.closed {
+		return nil
+	}
+	if max <= 0 || max > t.batch {
+		max = t.batch
+	}
+	var out []Lease
+	for len(out) < max && len(t.queue) > 0 {
+		p := t.queue[0]
+		t.queue = t.queue[1:]
+		if p.state != distPending {
+			continue // completed (or re-leased) while queued under an older entry
+		}
+		t.leaseSeq++
+		p.state = distLeased
+		p.worker = worker
+		p.leaseID = t.leaseSeq
+		p.deadline = now.Add(t.ttl)
+		t.workers[worker].granted++
+		out = append(out, Lease{ID: p.leaseID, Key: p.key, Spec: p.spec})
+	}
+	if len(out) > 0 {
+		t.stats.AddLeaseStats(int64(len(out)), 0, 0, 0, 0)
+	}
+	return out
+}
+
+// complete merges one completion report. Idempotent: completions for
+// already-done (or unknown) keys are classified as duplicates, byte-checked,
+// and discarded.
+func (t *leaseTable) complete(worker string, leaseID int64, key string, summary []byte, errMsg string, now time.Time) string {
+	t.mu.Lock()
+	wi := t.touchLocked(worker, now)
+	t.reapLocked(now)
+	p, ok := t.points[key]
+	if !ok || p.state == distDone {
+		mergedOK := ok && !p.failed
+		t.mu.Unlock()
+		t.stats.AddLeaseStats(0, 0, 0, 0, 1)
+		if mergedOK && errMsg == "" {
+			// A real duplicate of a merged result: the bytes must match the
+			// merged ones — any divergence means an execution path lost
+			// determinism, which must be loud, never silent.
+			if merged, found := t.lookup(key); found && !bytes.Equal(merged, summary) {
+				t.mu.Lock()
+				t.mismatches++
+				t.mu.Unlock()
+				t.logf("lease: DUPLICATE MISMATCH for %s from worker %s: %d vs %d merged bytes", key, worker, len(summary), len(merged))
+			}
+		}
+		return CompleteDuplicate
+	}
+
+	if errMsg != "" {
+		p.failures++
+		if p.failures >= t.maxFailures {
+			p.state = distDone
+			p.failed = true
+			p.doneAt = now
+			fulfills := p.fulfill
+			p.fulfill = nil
+			t.mu.Unlock()
+			t.logf("lease: point %s failed for good after %d attempts: %s", p.label, p.failures, errMsg)
+			pr := PointResult{Key: key, Label: p.label, Err: fmt.Sprintf("worker %s (attempt %d/%d): %s", worker, p.failures, t.maxFailures, errMsg)}
+			for _, cb := range fulfills {
+				cb(pr)
+			}
+			return CompleteFailed
+		}
+		if p.state == distLeased {
+			p.state = distPending
+			p.worker = ""
+			t.queue = append(t.queue, p)
+		}
+		failures := p.failures
+		t.mu.Unlock()
+		t.stats.AddLeaseStats(0, 0, 1, 0, 0)
+		t.logf("lease: point %s failed on worker %s (attempt %d/%d), re-leasing: %s", p.label, worker, failures, t.maxFailures, errMsg)
+		return CompleteRetry
+	}
+
+	if p.state == distLeased && p.leaseID != leaseID {
+		t.logf("lease: stale completion for %s (lease %d, current %d) — accepted, results are deterministic", p.label, leaseID, p.leaseID)
+	}
+	p.state = distDone
+	p.doneAt = now
+	fulfills := p.fulfill
+	p.fulfill = nil
+	wi.completed++
+	t.mu.Unlock()
+
+	// Merge outside the lock: the store write is file I/O, and duplicate
+	// saves of the same key write identical bytes (atomic rename race).
+	t.save(key, summary)
+	t.stats.AddLeaseStats(0, 0, 0, 1, 0)
+	pr := PointResult{Key: key, Label: p.label, Source: SourceWorker, Worker: worker, Summary: summary}
+	for _, cb := range fulfills {
+		cb(pr)
+	}
+	return CompleteAccepted
+}
+
+// abort fails every unfinished point (the daemon is being killed); late
+// completions from workers then classify as duplicates.
+func (t *leaseTable) abort() {
+	t.mu.Lock()
+	t.closed = true
+	var pending []*distPoint
+	for _, p := range t.points {
+		if p.state != distDone {
+			p.state = distDone
+			p.failed = true
+			p.doneAt = time.Now()
+			pending = append(pending, p)
+		}
+	}
+	t.mu.Unlock()
+	for _, p := range pending {
+		pr := PointResult{Key: p.key, Label: p.label, Err: "aborted before completion"}
+		for _, cb := range p.fulfill {
+			cb(pr)
+		}
+		p.fulfill = nil
+	}
+}
+
+// snapshot renders the /statsz coordinator section.
+func (t *leaseTable) snapshot(now time.Time) *DistSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reapLocked(now)
+	ds := &DistSnapshot{Mismatches: t.mismatches}
+	outstanding := make(map[string]int)
+	for _, p := range t.points {
+		switch p.state {
+		case distPending:
+			ds.Pending++
+		case distLeased:
+			ds.Leased++
+			outstanding[p.worker]++
+		}
+	}
+	for id, wi := range t.workers {
+		ds.Workers = append(ds.Workers, WorkerStats{
+			ID:          id,
+			Granted:     wi.granted,
+			Completed:   wi.completed,
+			Outstanding: outstanding[id],
+		})
+	}
+	sort.Slice(ds.Workers, func(i, j int) bool { return ds.Workers[i].ID < ds.Workers[j].ID })
+	return ds
+}

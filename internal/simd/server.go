@@ -6,17 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"nocmem/internal/analytic"
-	"nocmem/internal/config"
 	"nocmem/internal/exp"
 	"nocmem/internal/par"
-	"nocmem/internal/trace"
-	"nocmem/internal/workload"
 )
 
 // Options configures a Server. The zero value is not usable: StoreDir is
@@ -33,6 +28,26 @@ type Options struct {
 	ShareWarmup bool
 	// Logf receives server diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+
+	// Distributed runs the server as a sweep coordinator: simulation points
+	// of submitted jobs are leased to joined workers (POST /dist/lease)
+	// instead of executing locally. Estimates and store hits still answer
+	// locally — they are cheaper than a network round trip. A coordinator
+	// with no joined workers holds jobs until one joins.
+	Distributed bool
+	// LeaseTTL bounds how long a worker may sit on a leased point before
+	// the coordinator re-leases it to another worker (0 = 2 minutes).
+	LeaseTTL time.Duration
+	// LeaseBatch caps how many points one /dist/lease call may grant
+	// (0 = 4).
+	LeaseBatch int
+
+	// JobTTL bounds how long a terminal job's in-memory record (events +
+	// per-point results) outlives its completion once a client has fetched
+	// it (0 = 15 minutes). Jobs nobody ever polled after completion are
+	// retained 10x longer, then dropped too — results stay fetchable
+	// forever via GET /results/{key}; only the job's event log expires.
+	JobTTL time.Duration
 }
 
 // Server owns the job registry, the worker pool (via exp.Runner's semaphore)
@@ -42,6 +57,9 @@ type Server struct {
 	store  *Store
 	runner *exp.Runner
 	mux    *http.ServeMux
+	// leases is the distributed-sweep coordinator state; nil unless
+	// Options.Distributed.
+	leases *leaseTable
 
 	// ctx is cancelled by Abort: queued points then fail fast instead of
 	// starting new simulations (a drain still waits for running ones —
@@ -67,6 +85,11 @@ type job struct {
 	status  string
 	events  []Event
 	results []PointResult
+	// doneAt and fetched drive the terminal-job GC: a job is collectible
+	// once it reached a terminal status, a client fetched it afterwards,
+	// and Options.JobTTL has passed since completion.
+	doneAt  time.Time
+	fetched bool
 }
 
 func (j *job) logf(format string, args ...any) {
@@ -82,29 +105,25 @@ func (j *job) setStatus(s string) {
 }
 
 // snapshot renders the polling view: events past cursor, plus a copy of the
-// per-point results filled in so far.
-func (j *job) snapshot(cursor int) *JobStatus {
+// per-point results filled in so far. A cursor beyond the current end of the
+// event log is an error — it can only come from a confused client (or a
+// cursor meant for a different job), and silently returning an empty
+// snapshot with a stale NextCursor would mask that forever.
+func (j *job) snapshot(cursor int) (*JobStatus, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	js := &JobStatus{ID: j.id, Status: j.status, NextCursor: len(j.events)}
-	if cursor < 0 {
-		cursor = 0
+	if cursor > len(j.events) {
+		return nil, fmt.Errorf("cursor %d beyond end of event log (%d events)", cursor, len(j.events))
 	}
+	js := &JobStatus{ID: j.id, Status: j.status, NextCursor: len(j.events)}
 	if cursor < len(j.events) {
 		js.Events = append(js.Events, j.events[cursor:]...)
 	}
 	js.Results = append(js.Results, j.results...)
-	return js
-}
-
-// resolvedPoint is a RunSpec after validation: profiles looked up, label and
-// store key fixed.
-type resolvedPoint struct {
-	cfg      config.Config
-	apps     []trace.Profile
-	label    string
-	key      string
-	estimate bool
+	if j.status == StatusDone || j.status == StatusFailed {
+		j.fetched = true
+	}
+	return js, nil
 }
 
 // New opens the store and builds a server. The runner's fork cache is wired
@@ -115,6 +134,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
+	}
+	if opts.JobTTL <= 0 {
+		opts.JobTTL = 15 * time.Minute
 	}
 	store, err := OpenStore(opts.StoreDir, opts.Logf)
 	if err != nil {
@@ -135,12 +157,19 @@ func New(opts Options) (*Server, error) {
 		cancel: cancel,
 		jobs:   make(map[string]*job),
 	}
+	if opts.Distributed {
+		s.leases = newLeaseTable(opts.LeaseTTL, opts.LeaseBatch, runner,
+			store.SaveResult, store.LoadResult, opts.Logf)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("POST /dist/register", s.handleRegister)
+	s.mux.HandleFunc("POST /dist/lease", s.handleLease)
+	s.mux.HandleFunc("POST /dist/complete", s.handleComplete)
 	return s, nil
 }
 
@@ -152,14 +181,22 @@ func (s *Server) Store() *Store { return s.store }
 
 // Stats assembles the /statsz snapshot.
 func (s *Server) Stats() StatsSnapshot {
-	return StatsSnapshot{
+	s.mu.Lock()
+	retained := int64(len(s.jobs))
+	s.mu.Unlock()
+	ss := StatsSnapshot{
 		Jobs:         s.jobsTotal.Load(),
 		Points:       s.pointsTotal.Load(),
 		InflightJobs: s.inflight.Load(),
+		RetainedJobs: retained,
 		Draining:     s.draining.Load(),
 		Store:        s.store.Stats(),
 		Runner:       s.runner.Stats(),
 	}
+	if s.leases != nil {
+		ss.Dist = s.leases.snapshot(time.Now())
+	}
+	return ss
 }
 
 // Drain stops accepting new jobs and waits for the in-flight ones —
@@ -183,10 +220,15 @@ func (s *Server) Drain(ctx context.Context) error {
 // Abort simulates a kill: new jobs are refused and queued points of running
 // jobs fail fast instead of starting. Points whose simulation is already
 // executing still complete (a cycle loop cannot be interrupted), so callers
-// wanting a quiet process should Drain afterwards.
+// wanting a quiet process should Drain afterwards. On a coordinator, every
+// unfinished leased point fails too; completions still in flight from
+// workers are then absorbed as duplicates.
 func (s *Server) Abort() {
 	s.draining.Store(true)
 	s.cancel()
+	if s.leases != nil {
+		s.leases.abort()
+	}
 }
 
 // --- HTTP plumbing ---
@@ -210,48 +252,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
-// resolve validates one spec and fixes its label and store key.
-func (s *Server) resolve(sp RunSpec) (resolvedPoint, error) {
-	var rp resolvedPoint
-	rp.cfg, rp.estimate = sp.Config, sp.Estimate
-	if err := rp.cfg.Validate(); err != nil {
-		return rp, err
-	}
-	switch {
-	case sp.Workload > 0 && len(sp.Apps) > 0:
-		return rp, fmt.Errorf("point names both a workload and an explicit app list")
-	case sp.Workload > 0:
-		wl, err := workload.Get(sp.Workload)
-		if err != nil {
-			return rp, err
+// gcJobs drops terminal job records past their retention: JobTTL after
+// completion once fetched, 10x that if nobody ever polled the finished job.
+// Called opportunistically from the request handlers — a daemon nobody
+// talks to holds no growing state, so it needs no background sweeper.
+func (s *Server) gcJobs(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		terminal := j.status == StatusDone || j.status == StatusFailed
+		doneAt, fetched := j.doneAt, j.fetched
+		j.mu.Unlock()
+		if !terminal {
+			continue
 		}
-		if rp.apps, err = wl.Profiles(); err != nil {
-			return rp, err
+		ttl := s.opts.JobTTL
+		if !fetched {
+			ttl *= 10
 		}
-		rp.label = wl.Name()
-	case len(sp.Apps) > 0:
-		for _, name := range sp.Apps {
-			p, err := trace.Lookup(name)
-			if err != nil {
-				return rp, err
-			}
-			rp.apps = append(rp.apps, p)
+		if now.Sub(doneAt) > ttl {
+			delete(s.jobs, id)
 		}
-		rp.label = "apps:" + strings.Join(sp.Apps, "+")
-	default:
-		return rp, fmt.Errorf("point names neither a workload nor an app list")
 	}
-	if len(rp.apps) > rp.cfg.Mesh.Nodes() {
-		return rp, fmt.Errorf("%d applications for %d tiles", len(rp.apps), rp.cfg.Mesh.Nodes())
-	}
-	rp.key = exp.RunKey(rp.cfg, rp.label)
-	if rp.estimate {
-		rp.key = "estimate|" + rp.key
-	}
-	return rp, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.gcJobs(time.Now())
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "draining, not accepting jobs")
 		return
@@ -265,15 +292,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no points in request")
 		return
 	}
-	points := make([]resolvedPoint, len(req.Points))
+	points := make([]ResolvedSpec, len(req.Points))
 	keys := make([]string, len(req.Points))
 	for i, sp := range req.Points {
-		rp, err := s.resolve(sp)
+		rp, err := ResolveSpec(sp)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "point %d: %v", i, err)
 			return
 		}
-		points[i], keys[i] = rp, rp.key
+		points[i], keys[i] = rp, rp.Key
 	}
 
 	s.mu.Lock()
@@ -293,6 +320,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.gcJobs(time.Now())
 	s.mu.Lock()
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
@@ -300,8 +328,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	cursor, _ := strconv.Atoi(r.URL.Query().Get("cursor"))
-	writeJSON(w, j.snapshot(cursor))
+	cursor := 0
+	if q := r.URL.Query().Get("cursor"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "malformed cursor %q: want a non-negative integer", q)
+			return
+		}
+		cursor = v
+	}
+	js, err := j.snapshot(cursor)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, js)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -315,24 +356,113 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(payload)
 }
 
+// --- Distributed-sweep endpoints (coordinator mode) ---
+
+// requireCoordinator gates the /dist endpoints.
+func (s *Server) requireCoordinator(w http.ResponseWriter) bool {
+	if s.leases == nil {
+		httpError(w, http.StatusConflict, "not a coordinator (start nocsimd with -coordinator)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	id := s.leases.register(req.Name, time.Now())
+	s.opts.Logf("worker %s registered", id)
+	writeJSON(w, RegisterResponse{
+		WorkerID:   id,
+		LeaseTTLMS: s.leases.ttl.Milliseconds(),
+		PollMS:     idlePollHint(s.leases.ttl).Milliseconds(),
+	})
+}
+
+// idlePollHint picks the empty-grant polling interval: fast enough that an
+// expired lease is picked up well within a TTL, slow enough not to hammer
+// the coordinator.
+func idlePollHint(ttl time.Duration) time.Duration {
+	hint := ttl / 20
+	if hint < 25*time.Millisecond {
+		hint = 25 * time.Millisecond
+	}
+	if hint > time.Second {
+		hint = time.Second
+	}
+	return hint
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease request names no worker")
+		return
+	}
+	leases := s.leases.grant(req.Worker, req.Max, time.Now())
+	resp := LeaseResponse{Leases: leases}
+	if len(leases) == 0 {
+		resp.RetryMS = idlePollHint(s.leases.ttl).Milliseconds()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Worker == "" || req.Key == "" {
+		httpError(w, http.StatusBadRequest, "completion names no worker or no key")
+		return
+	}
+	if req.Err == "" && len(req.Summary) == 0 {
+		httpError(w, http.StatusBadRequest, "completion carries neither a summary nor an error")
+		return
+	}
+	status := s.leases.complete(req.Worker, req.LeaseID, req.Key, req.Summary, req.Err, time.Now())
+	writeJSON(w, CompleteResponse{Status: status})
+}
+
 // --- Job execution ---
 
-// runJob drives one job's points over the shared worker pool. Points run
-// concurrently (bounded by the runner's semaphore and by the pool group),
-// but results land at fixed indices, so a job's result order is independent
-// of scheduling.
-func (s *Server) runJob(j *job, points []resolvedPoint) {
+// runJob drives one job's points. Locally they run over the shared worker
+// pool; on a coordinator the simulation points are leased to workers
+// instead. Either way results land at fixed indices, so a job's result order
+// is independent of scheduling, worker count, and completion order.
+func (s *Server) runJob(j *job, points []ResolvedSpec) {
 	defer s.jobWG.Done()
 	defer s.inflight.Add(-1)
 	j.setStatus(StatusRunning)
-	g := par.NewGroup(s.runner.Parallelism())
-	for i, rp := range points {
-		g.Go(func() error {
-			s.runPoint(j, i, len(points), rp)
-			return nil
-		})
+	if s.leases != nil {
+		s.runJobDistributed(j, points)
+	} else {
+		g := par.NewGroup(s.runner.Parallelism())
+		for i, rp := range points {
+			g.Go(func() error {
+				s.runPoint(j, i, len(points), rp)
+				return nil
+			})
+		}
+		g.Wait()
 	}
-	g.Wait()
 	status := StatusDone
 	j.mu.Lock()
 	for _, pr := range j.results {
@@ -342,8 +472,41 @@ func (s *Server) runJob(j *job, points []resolvedPoint) {
 		}
 	}
 	j.status = status
+	j.doneAt = time.Now()
 	j.events = append(j.events, Event{Seq: len(j.events), Msg: status})
 	j.mu.Unlock()
+}
+
+// runJobDistributed routes one job's points on a coordinator: estimates and
+// store hits answer locally, everything else goes through the lease table
+// and comes back from whichever worker completes it first.
+func (s *Server) runJobDistributed(j *job, points []ResolvedSpec) {
+	total := len(points)
+	var wg sync.WaitGroup
+	for i, rp := range points {
+		if rp.Estimate {
+			s.runPoint(j, i, total, rp)
+			continue
+		}
+		if data, ok := s.store.LoadResult(rp.Key); ok {
+			j.setResult(i, PointResult{Key: rp.Key, Label: rp.Label, Source: SourceStore, Summary: data})
+			j.logf("point %d/%d %s: %s", i+1, total, rp.Label, SourceStore)
+			continue
+		}
+		start := time.Now()
+		wg.Add(1)
+		s.leases.enqueue(rp, func(pr PointResult) {
+			j.setResult(i, pr)
+			if pr.Err != "" {
+				j.logf("point %d/%d %s: error: %s", i+1, total, rp.Label, pr.Err)
+			} else {
+				j.logf("point %d/%d %s: %s(%s) in %s", i+1, total, rp.Label, pr.Source, pr.Worker,
+					time.Since(start).Round(time.Millisecond))
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
 }
 
 // setResult publishes one point's outcome.
@@ -353,28 +516,21 @@ func (j *job) setResult(idx int, pr PointResult) {
 	j.mu.Unlock()
 }
 
-func (s *Server) runPoint(j *job, idx, total int, rp resolvedPoint) {
+func (s *Server) runPoint(j *job, idx, total int, rp ResolvedSpec) {
 	start := time.Now()
-	pr := PointResult{Key: rp.key, Label: rp.label}
+	pr := PointResult{Key: rp.Key, Label: rp.Label}
 	defer func() {
 		j.setResult(idx, pr)
 		if pr.Err != "" {
-			j.logf("point %d/%d %s: error: %s", idx+1, total, rp.label, pr.Err)
+			j.logf("point %d/%d %s: error: %s", idx+1, total, rp.Label, pr.Err)
 		} else {
-			j.logf("point %d/%d %s: %s in %s", idx+1, total, rp.label, pr.Source,
+			j.logf("point %d/%d %s: %s in %s", idx+1, total, rp.Label, pr.Source,
 				time.Since(start).Round(time.Millisecond))
 		}
 	}()
 
-	if rp.estimate {
-		padded := make([]trace.Profile, rp.cfg.Mesh.Nodes())
-		copy(padded, rp.apps)
-		est, err := analytic.Predict(rp.cfg, padded)
-		if err != nil {
-			pr.Err = err.Error()
-			return
-		}
-		data, err := json.Marshal(est.Summary())
+	if rp.Estimate {
+		data, err := ExecuteSpec(s.runner, rp)
 		if err != nil {
 			pr.Err = err.Error()
 			return
@@ -385,7 +541,7 @@ func (s *Server) runPoint(j *job, idx, total int, rp resolvedPoint) {
 
 	// Disk first: a key simulated in any previous life of this store is
 	// served without touching the runner.
-	if data, ok := s.store.LoadResult(rp.key); ok {
+	if data, ok := s.store.LoadResult(rp.Key); ok {
 		pr.Source, pr.Summary = SourceStore, data
 		return
 	}
@@ -397,16 +553,11 @@ func (s *Server) runPoint(j *job, idx, total int, rp resolvedPoint) {
 	// (same key, any client) onto one execution; both requesters then
 	// persist identical bytes, so the double SaveResult is a harmless
 	// rename race.
-	res, err := s.runner.RunConfig(rp.cfg, rp.apps, rp.label)
+	data, err := ExecuteSpec(s.runner, rp)
 	if err != nil {
 		pr.Err = err.Error()
 		return
 	}
-	data, err := json.Marshal(res.Summary())
-	if err != nil {
-		pr.Err = err.Error()
-		return
-	}
-	s.store.SaveResult(rp.key, data)
+	s.store.SaveResult(rp.Key, data)
 	pr.Source, pr.Summary = SourceSim, data
 }

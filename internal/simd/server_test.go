@@ -1,0 +1,117 @@
+// Regression tests for the daemon's request-surface bugfixes: strict cursor
+// validation on GET /jobs/{id}, and the terminal-job GC that keeps the
+// in-memory jobs map bounded under churn.
+package simd_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nocmem/internal/simd"
+)
+
+// estimatePoint is an instant, simulation-free point for request-surface
+// tests: the closed-form model answers in microseconds.
+func estimatePoint() simd.RunSpec {
+	return simd.RunSpec{Config: testCfg(), Apps: testApps, Estimate: true}
+}
+
+// TestCursorValidation: malformed and out-of-range cursors are 400s, not
+// silently-zero polls; valid cursors (including the exact end of the event
+// log) still work.
+func TestCursorValidation(t *testing.T) {
+	h := makeHarness(t, 1, "", 0)
+	h.begin("malformed and out-of-range cursors rejected with 400")
+	ctx := context.Background()
+
+	js := h.run(0, []simd.RunSpec{estimatePoint()})
+	for _, q := range []string{"abc", "-1", "1.5", "1e3", "0x10", "%20"} {
+		resp, err := http.Get(h.ts.URL + "/jobs/" + js.ID + "?cursor=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("cursor %q: status %d, want %d", q, resp.StatusCode, http.StatusBadRequest)
+		}
+	}
+
+	// A cursor past the end of the event log can only come from a confused
+	// client; it must be an error, not an empty success.
+	if _, err := h.clients[0].Job(ctx, js.ID, js.NextCursor+50); err == nil {
+		t.Error("cursor beyond the event log accepted, want 400")
+	} else if !strings.Contains(err.Error(), "beyond end") {
+		t.Errorf("beyond-end cursor error %q, want a 'beyond end' explanation", err)
+	}
+
+	// Cursor == len(events) is the normal "no new events" poll.
+	tail, err := h.clients[0].Job(ctx, js.ID, js.NextCursor)
+	if err != nil {
+		t.Fatalf("cursor at exact end rejected: %v", err)
+	}
+	if len(tail.Events) != 0 {
+		t.Errorf("poll at end returned %d events, want 0", len(tail.Events))
+	}
+	h.end()
+}
+
+// TestTerminalJobGC: churning many short jobs through the daemon leaves the
+// in-memory jobs map bounded — fetched terminal jobs are collected after the
+// TTL, unfetched ones are retained 10x longer — and /statsz reports the
+// retained count accurately while the lifetime totals keep growing.
+func TestTerminalJobGC(t *testing.T) {
+	const ttl = 40 * time.Millisecond
+	h := &harness{t: t, dir: t.TempDir(), g0: runtime.NumGoroutine(), jobTTL: ttl}
+	h.boot(1)
+	h.begin(fmt.Sprintf("job map bounded under churn (ttl %s)", ttl))
+	ctx := context.Background()
+
+	const churn = 30
+	var firstID string
+	for i := 0; i < churn; i++ {
+		js := h.run(0, []simd.RunSpec{estimatePoint()}) // Run waits: fetched after terminal
+		if i == 0 {
+			firstID = js.ID
+		}
+	}
+	time.Sleep(2 * ttl)
+
+	// Any request sweeps the map; the fetched terminal jobs are gone.
+	if _, err := h.clients[0].Job(ctx, firstID, 0); err == nil {
+		t.Errorf("job %s still fetchable %s after completion, want collected", firstID, 2*ttl)
+	} else if !strings.Contains(err.Error(), "no such job") {
+		t.Errorf("collected job error %q, want 'no such job'", err)
+	}
+	st := h.stats()
+	if st.Jobs != churn {
+		t.Errorf("lifetime job counter %d, want %d (GC must not rewind totals)", st.Jobs, churn)
+	}
+	if st.RetainedJobs > 2 {
+		t.Errorf("%d job records retained after churn + TTL, want <= 2", st.RetainedJobs)
+	}
+
+	// An unfetched terminal job survives the fetched TTL...
+	sub, err := h.clients[0].Submit(ctx, simd.RunRequest{Points: []simd.RunSpec{estimatePoint()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * ttl) // done long ago, never polled since
+	js, err := h.clients[0].Job(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatalf("unfetched terminal job collected after 1x TTL: %v", err)
+	}
+	if !js.Done() {
+		t.Fatalf("estimate job still %q after %s", js.Status, 3*ttl)
+	}
+	// ...and that poll marked it fetched, so now the normal TTL applies.
+	time.Sleep(2 * ttl)
+	if _, err := h.clients[0].Job(ctx, sub.ID, 0); err == nil {
+		t.Error("fetched terminal job still alive after TTL, want collected")
+	}
+	h.end()
+}

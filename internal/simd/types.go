@@ -70,6 +70,7 @@ const (
 	SourceSim      = "sim"      // freshly simulated (or coalesced onto an in-flight identical run)
 	SourceStore    = "store"    // served from the on-disk result store, no simulation
 	SourceEstimate = "estimate" // closed-form analytic model, no simulation
+	SourceWorker   = "worker"   // simulated by a remote sweep worker, relayed through a lease
 )
 
 // PointResult is the outcome of one point of a job.
@@ -77,6 +78,9 @@ type PointResult struct {
 	Key    string `json:"key"`
 	Label  string `json:"label"`
 	Source string `json:"source,omitempty"`
+	// Worker names the remote worker whose completion was accepted, when
+	// Source is SourceWorker.
+	Worker string `json:"worker,omitempty"`
 	// Summary is the sim.Summary JSON of the run (or estimate). Byte-for-
 	// byte identical to what a direct exp.Runner execution summarizes,
 	// which is what the multi-client harness asserts.
@@ -119,6 +123,107 @@ func (js *JobStatus) Err() string {
 	return ""
 }
 
+// --- Distributed-sweep wire types (coordinator mode) ---
+//
+// A coordinator (Options.Distributed) leases the simulation points of
+// submitted jobs to workers instead of executing them locally:
+//
+//	POST /dist/register {RegisterRequest}  -> RegisterResponse
+//	POST /dist/lease    {LeaseRequest}     -> LeaseResponse
+//	POST /dist/complete {CompleteRequest}  -> CompleteResponse
+//
+// Workers poll /dist/lease for batches of points, execute them with their
+// own exp.Runner, and report back through /dist/complete. Leases carry a
+// TTL; a point whose lease expires (worker death, partition) is re-leased to
+// the next polling worker, and completions are accepted idempotently — the
+// first valid completion for a key wins, later ones are counted as
+// duplicates and discarded, so the merged output is byte-identical however
+// often a point was executed.
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name labels the worker in /statsz (e.g. host-pid); the coordinator
+	// derives a unique WorkerID from it.
+	Name string `json:"name"`
+}
+
+// RegisterResponse acknowledges a worker and hands it its lease parameters.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMS is the coordinator's lease TTL in milliseconds: how long
+	// the worker may sit on a leased point before it is re-leased.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// PollMS is the suggested idle polling interval in milliseconds.
+	PollMS int64 `json:"poll_ms"`
+}
+
+// LeaseRequest asks for a batch of points to execute.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	// Max bounds the batch size (the coordinator may cap it further).
+	Max int `json:"max"`
+}
+
+// Lease is one point handed to a worker.
+type Lease struct {
+	// ID identifies this grant; completions echo it so the coordinator can
+	// tell a timely completion from one that outlived its lease (both are
+	// accepted — results are deterministic — but stale ones are logged).
+	ID   int64   `json:"id"`
+	Key  string  `json:"key"`
+	Spec RunSpec `json:"spec"`
+}
+
+// LeaseResponse returns the granted batch (possibly empty).
+type LeaseResponse struct {
+	Leases []Lease `json:"leases,omitempty"`
+	// RetryMS suggests when to poll again after an empty grant.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+}
+
+// CompleteRequest reports one executed point (or its failure).
+type CompleteRequest struct {
+	Worker  string          `json:"worker"`
+	LeaseID int64           `json:"lease_id"`
+	Key     string          `json:"key"`
+	Summary json.RawMessage `json:"summary,omitempty"`
+	Err     string          `json:"error,omitempty"`
+}
+
+// Completion statuses.
+const (
+	CompleteAccepted  = "accepted"  // first valid completion for the key; merged
+	CompleteDuplicate = "duplicate" // point already done (or unknown); discarded idempotently
+	CompleteRetry     = "retry"     // failure recorded; point re-leased to another worker
+	CompleteFailed    = "failed"    // failure recorded; retry budget exhausted, point failed
+)
+
+// CompleteResponse acknowledges a completion report.
+type CompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// WorkerStats is one registered worker's lease traffic.
+type WorkerStats struct {
+	ID        string `json:"id"`
+	Granted   int64  `json:"granted"`
+	Completed int64  `json:"completed"`
+	// Outstanding counts points currently leased to this worker.
+	Outstanding int `json:"outstanding"`
+}
+
+// DistSnapshot is the coordinator section of /statsz (nil on a
+// non-coordinator daemon).
+type DistSnapshot struct {
+	Workers []WorkerStats `json:"workers"`
+	Pending int           `json:"pending"`
+	Leased  int           `json:"leased"`
+	// Mismatches counts duplicate completions whose bytes differed from the
+	// merged result — always zero while every execution path stays
+	// deterministic; nonzero announces a broken worker loudly.
+	Mismatches int64 `json:"mismatches"`
+}
+
 // StoreStats counts on-disk store traffic.
 type StoreStats struct {
 	ResultHits   int64 `json:"result_hits"`
@@ -138,8 +243,15 @@ type StatsSnapshot struct {
 	Jobs         int64 `json:"jobs"`
 	Points       int64 `json:"points"`
 	InflightJobs int64 `json:"inflight_jobs"`
+	// RetainedJobs counts job records currently held in memory — bounded by
+	// the terminal-job GC (Options.JobTTL), unlike Jobs which only grows.
+	RetainedJobs int64 `json:"retained_jobs"`
 	Draining     bool  `json:"draining"`
 
 	Store  StoreStats `json:"store"`
 	Runner exp.Stats  `json:"runner"`
+
+	// Dist is the coordinator's lease-table view; nil unless the daemon
+	// runs with Options.Distributed.
+	Dist *DistSnapshot `json:"dist,omitempty"`
 }

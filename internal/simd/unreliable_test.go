@@ -1,0 +1,213 @@
+// Unreliable-network harness: workers talk to the coordinator through a
+// transport that drops requests before send, drops responses after the
+// server processed them (the idempotency killer), duplicates RPCs, and
+// injects delays — and one worker is killed mid-sweep on top. The merged
+// output must still be byte-identical to a direct single-process run.
+package simd_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"nocmem/internal/simd"
+	"nocmem/internal/simdclient"
+)
+
+// flakyTransport wraps a real transport with seeded fault injection.
+type flakyTransport struct {
+	base *http.Transport
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	droppedBefore, droppedAfter, duplicated, delayed int
+}
+
+func newFlaky(seed int64) *flakyTransport {
+	return &flakyTransport{base: &http.Transport{}, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (f *flakyTransport) CloseIdleConnections() { f.base.CloseIdleConnections() }
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	delay := time.Duration(f.rng.Intn(4)+1) * time.Millisecond
+	f.mu.Unlock()
+
+	send := func(r *http.Request) (*http.Response, error) { return f.base.RoundTrip(r) }
+	discard := func(resp *http.Response, err error) {
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	switch {
+	case roll < 0.10: // dropped before the server saw it
+		f.count(&f.droppedBefore)
+		return nil, fmt.Errorf("flaky: request dropped before send")
+	case roll < 0.20: // server processed it; the client never hears back
+		f.count(&f.droppedAfter)
+		discard(send(req))
+		return nil, fmt.Errorf("flaky: response dropped after send")
+	case roll < 0.30: // delivered twice; the client reads the second answer
+		f.count(&f.duplicated)
+		if clone := cloneRequest(req); clone != nil {
+			discard(send(clone))
+		}
+		return send(req)
+	case roll < 0.40: // delayed
+		f.count(&f.delayed)
+		time.Sleep(delay)
+	}
+	return send(req)
+}
+
+func (f *flakyTransport) count(c *int) {
+	f.mu.Lock()
+	*c++
+	f.mu.Unlock()
+}
+
+// cloneRequest copies a request with a replayable body (nil if the body
+// cannot be replayed — then the duplicate is skipped).
+func cloneRequest(req *http.Request) *http.Request {
+	clone := req.Clone(req.Context())
+	if req.Body == nil {
+		return clone
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	clone.Body = body
+	return clone
+}
+
+// TestUnreliableNetworkAndWorkerDeath: two workers on flaky transports plus
+// a third killed while holding leases. The sweep must complete with output
+// byte-identical to a direct run, zero duplicate byte mismatches, and at
+// least one lease recovered by expiry.
+func TestUnreliableNetworkAndWorkerDeath(t *testing.T) {
+	h := makeDistHarness(t, 1, 300*time.Millisecond)
+	h.begin("flaky worker RPCs + mid-sweep worker kill")
+	ctx := context.Background()
+	c := h.clients[0]
+
+	// Workers are managed locally (not via startWorker): the victim needs
+	// its own cancel, and the flaky pair needs injected transports.
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var flakies []*flakyTransport
+	bootWorker := func(wctx context.Context, name string, seed int64, batch int) {
+		wc := simdclient.New(h.ts.URL)
+		ft := newFlaky(seed)
+		wc.SetTransport(ft)
+		flakies = append(flakies, ft)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer wc.Close()
+			simdclient.RunWorker(wctx, wc, simdclient.WorkerOptions{
+				Name: name, Parallelism: 1, MaxBatch: batch, ShareWarmup: true,
+				Logf: func(format string, args ...any) { h.t.Logf(name+": "+format, args...) },
+			})
+		}()
+	}
+	bootWorker(workerCtx, "flaky0", 101, 1)
+	bootWorker(workerCtx, "flaky1", 202, 1)
+	// The victim hoards two leases at parallelism 1, so killing it while
+	// Outstanding >= 2 strands at least one lease only expiry can recover.
+	bootWorker(victimCtx, "victim", 303, 2)
+	defer func() {
+		stopWorkers()
+		killVictim()
+		wg.Wait()
+	}()
+
+	grid := policyGrid()
+	for _, f := range []float64{0.8, 1.1, 1.3} {
+		cfg := testCfg().WithSchemes(true, true)
+		cfg.S1.ThresholdFactor = f
+		grid = append(grid, simd.RunSpec{Config: cfg, Apps: testApps})
+	}
+	sub, err := c.Submit(ctx, simd.RunRequest{Points: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the victim once it holds two unfinished leases.
+	killed := false
+	for deadline := time.Now().Add(30 * time.Second); !killed; {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range st.Dist.Workers {
+			if w.Outstanding >= 2 {
+				killVictim()
+				killed = true
+				t.Logf("killed %s while it held %d leases", w.ID, w.Outstanding)
+				break
+			}
+		}
+		if !killed {
+			if time.Now().After(deadline) {
+				t.Fatal("victim never held 2 leases")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	js, err := c.Wait(ctx, sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := js.Err(); e != "" {
+		t.Fatalf("sweep failed under fault injection: %s", e)
+	}
+
+	direct := newDirect()
+	for i, sp := range grid {
+		if want := direct.summary(t, sp); !bytes.Equal(js.Results[i].Summary, want) {
+			t.Errorf("point %d: merged bytes differ from direct execution", i)
+		}
+	}
+	st := h.stats()
+	if st.Dist.Mismatches != 0 {
+		t.Errorf("%d duplicate byte mismatches under fault injection, want 0", st.Dist.Mismatches)
+	}
+	if st.Runner.LeasesExpired < 1 {
+		t.Errorf("no lease expired despite killing a worker holding 2 leases")
+	}
+	var before, after, dup, delayed int
+	for _, f := range flakies {
+		f.mu.Lock()
+		before += f.droppedBefore
+		after += f.droppedAfter
+		dup += f.duplicated
+		delayed += f.delayed
+		f.mu.Unlock()
+	}
+	t.Logf("injected faults: %d dropped before send, %d responses dropped, %d duplicated, %d delayed (%d duplicate completions absorbed)",
+		before, after, dup, delayed, st.Runner.DuplicateCompletions)
+	if before+after+dup+delayed == 0 {
+		t.Error("fault injection never fired — the harness tested nothing")
+	}
+	// Stop the survivors before end()'s goroutine-leak check (the deferred
+	// stop above stays as a safety net for early t.Fatal exits).
+	stopWorkers()
+	wg.Wait()
+	h.end()
+}

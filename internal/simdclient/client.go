@@ -20,15 +20,36 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
-	// Poll is the job-status polling interval of Wait (default 10ms —
-	// the daemon is usually local; raise it for remote daemons).
+	// Poll is the initial job-status polling interval of Wait (default
+	// 10ms — the daemon is usually local). Wait backs off exponentially
+	// from Poll up to PollMax while a job produces no new events, and
+	// snaps back to Poll when one arrives, so a quiet multi-minute sweep
+	// doesn't hammer the daemon at startup rates.
 	Poll time.Duration
+	// PollMax caps the backed-off polling interval (default 1s).
+	PollMax time.Duration
 }
 
 // New returns a client for the daemon at base (e.g. "http://127.0.0.1:8347").
+// Requests carry a 30s default timeout (see SetRequestTimeout) so a hung or
+// half-dead daemon surfaces as an error instead of blocking a caller that
+// passed no deadline of its own forever.
 func New(base string) *Client {
-	return &Client{base: base, hc: &http.Client{}, Poll: 10 * time.Millisecond}
+	return &Client{
+		base:    base,
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		Poll:    10 * time.Millisecond,
+		PollMax: time.Second,
+	}
 }
+
+// SetRequestTimeout overrides the per-request timeout (0 disables it —
+// requests then run until the caller's context cancels them).
+func (c *Client) SetRequestTimeout(d time.Duration) { c.hc.Timeout = d }
+
+// SetTransport swaps the underlying HTTP transport. Tests inject unreliable
+// transports (dropped, delayed, duplicated RPCs) here.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
 
 // Close releases idle connections.
 func (c *Client) Close() { c.hc.CloseIdleConnections() }
@@ -114,9 +135,20 @@ func (c *Client) Job(ctx context.Context, id string, cursor int) (*simd.JobStatu
 }
 
 // Wait polls a job until it reaches a terminal state, forwarding each new
-// progress event to onEvent (may be nil).
+// progress event to onEvent (may be nil). Polling backs off exponentially
+// from Poll to PollMax while the job is quiet and resets on fresh events;
+// ctx cancellation is honored between every poll.
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(simd.Event)) (*simd.JobStatus, error) {
 	cursor := 0
+	interval := c.Poll
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	max := c.PollMax
+	if max < interval {
+		max = interval
+	}
+	delay := interval
 	for {
 		js, err := c.Job(ctx, id, cursor)
 		if err != nil {
@@ -127,6 +159,9 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(simd.Event)) 
 				onEvent(e)
 			}
 		}
+		if len(js.Events) > 0 {
+			delay = interval
+		}
 		cursor = js.NextCursor
 		if js.Done() {
 			return js, nil
@@ -134,7 +169,10 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(simd.Event)) 
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(c.Poll):
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > max {
+			delay = max
 		}
 	}
 }
@@ -146,6 +184,37 @@ func (c *Client) Run(ctx context.Context, req simd.RunRequest) (*simd.JobStatus,
 		return nil, err
 	}
 	return c.Wait(ctx, resp.ID, nil)
+}
+
+// --- Distributed-sweep worker RPCs (coordinator mode) ---
+
+// RegisterWorker announces a worker to a coordinator daemon and returns its
+// assigned id plus lease parameters.
+func (c *Client) RegisterWorker(ctx context.Context, name string) (*simd.RegisterResponse, error) {
+	var resp simd.RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/dist/register", simd.RegisterRequest{Name: name}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Lease asks the coordinator for up to max points to execute.
+func (c *Client) Lease(ctx context.Context, worker string, max int) (*simd.LeaseResponse, error) {
+	var resp simd.LeaseResponse
+	if err := c.do(ctx, http.MethodPost, "/dist/lease", simd.LeaseRequest{Worker: worker, Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Complete reports one executed point (or its failure) back to the
+// coordinator and returns the coordinator's classification of the report.
+func (c *Client) Complete(ctx context.Context, req simd.CompleteRequest) (string, error) {
+	var resp simd.CompleteResponse
+	if err := c.do(ctx, http.MethodPost, "/dist/complete", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.Status, nil
 }
 
 // Result fetches the stored summary JSON for a run key, byte for byte as

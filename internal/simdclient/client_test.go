@@ -1,0 +1,104 @@
+// Regression tests for the client-hang bugfixes: a hung daemon must surface
+// as a timeout (not block forever), the caller's context must be honored on
+// every poll, and Wait must back off instead of hammering a quiet daemon at
+// the initial polling rate.
+package simdclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nocmem/internal/simd"
+	"nocmem/internal/simdclient"
+)
+
+// hungServer accepts requests and never answers until the client goes away.
+func hungServer() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+}
+
+// TestRequestTimeoutOnHungServer: the regression for the timeout-less
+// http.Client — a daemon that accepts and never responds must fail the
+// request after the configured timeout, even when the caller passed no
+// context deadline at all.
+func TestRequestTimeoutOnHungServer(t *testing.T) {
+	srv := hungServer()
+	defer srv.Close()
+	c := simdclient.New(srv.URL)
+	defer c.Close()
+	c.SetRequestTimeout(50 * time.Millisecond)
+
+	t0 := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("Health against a hung daemon returned nil error")
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("Health took %s against a hung daemon, want ~50ms", d)
+	}
+}
+
+// TestContextHonoredMidRequest: a context that expires while a request is in
+// flight must cancel it promptly — the 30s default request timeout is the
+// backstop, not the only way out.
+func TestContextHonoredMidRequest(t *testing.T) {
+	srv := hungServer()
+	defer srv.Close()
+	c := simdclient.New(srv.URL)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if _, err := c.Job(ctx, "j1", 0); err == nil {
+		t.Fatal("Job with an expired context returned nil error")
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("Job held on for %s past its context, want ~50ms", d)
+	}
+}
+
+// TestWaitBacksOff: the regression for the fixed 10ms poll — a job that
+// stays quiet for a while must be polled at an exponentially decaying rate
+// (bounded by PollMax), not hammered at the initial interval.
+func TestWaitBacksOff(t *testing.T) {
+	var polls atomic.Int64
+	start := time.Now()
+	const quiet = 300 * time.Millisecond
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		js := simd.JobStatus{ID: "j1", Status: simd.StatusRunning}
+		if time.Since(start) > quiet {
+			js.Status = simd.StatusDone
+		}
+		json.NewEncoder(w).Encode(js)
+	}))
+	defer srv.Close()
+
+	c := simdclient.New(srv.URL)
+	defer c.Close()
+	c.Poll = time.Millisecond
+	c.PollMax = 50 * time.Millisecond
+
+	js, err := c.Wait(context.Background(), "j1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !js.Done() {
+		t.Fatalf("Wait returned non-terminal status %q", js.Status)
+	}
+	// A fixed 1ms poll would make ~300 requests over the quiet window; the
+	// backoff (1,2,4,...,50,50ms) keeps it around a dozen.
+	if n := polls.Load(); n > 40 {
+		t.Errorf("%d polls over a %s quiet job, want the backoff to keep it under 40", n, quiet)
+	} else {
+		t.Logf("%d polls over %s of quiet", n, quiet)
+	}
+}

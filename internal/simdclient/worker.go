@@ -1,0 +1,173 @@
+package simdclient
+
+import (
+	"context"
+	"time"
+
+	"nocmem/internal/exp"
+	"nocmem/internal/par"
+	"nocmem/internal/simd"
+)
+
+// WorkerOptions configures a distributed-sweep worker loop.
+type WorkerOptions struct {
+	// Name labels the worker on the coordinator (default "worker"); the
+	// coordinator derives a unique id from it.
+	Name string
+	// Parallelism bounds concurrently executing simulations on this worker
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxBatch caps how many points one lease call asks for (0 = the
+	// worker's parallelism — keep every local core busy, hoard nothing, so
+	// a dying worker strands at most one batch behind its lease TTL).
+	MaxBatch int
+	// ShareWarmup enables warmup forking on the worker's local runner.
+	// Must match the mode of whatever output the distributed run is being
+	// compared against: forked and cold runs are both deterministic but
+	// produce different (equally valid) statistics.
+	ShareWarmup bool
+	// Logf receives worker diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker joins a coordinator daemon and executes leased sweep points
+// until ctx is cancelled: register, poll for lease batches, simulate each
+// point on a local exp.Runner, and report completions. Every fault mode is
+// survivable by design — a completion that cannot be delivered is simply
+// dropped (the lease expires and the point is re-executed elsewhere), and
+// because results are a deterministic function of the key, whichever
+// completion the coordinator accepts first carries the same bytes this
+// worker computed.
+//
+// Returns nil when ctx is cancelled (normal shutdown); any other return is a
+// registration failure that retries exhausted.
+func RunWorker(ctx context.Context, c *Client, opts WorkerOptions) error {
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	runner := exp.NewRunner(exp.Options{
+		Parallelism: opts.Parallelism,
+		ShareWarmup: opts.ShareWarmup,
+	})
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = runner.Parallelism()
+	}
+
+	// Register, retrying while the coordinator is still coming up.
+	var reg *simd.RegisterResponse
+	for delay := 25 * time.Millisecond; ; {
+		var err error
+		if reg, err = c.RegisterWorker(ctx, opts.Name); err == nil {
+			break
+		}
+		if ctxDone(ctx) {
+			return nil
+		}
+		opts.Logf("register: %v (retrying in %s)", err, delay)
+		if !sleepCtx(ctx, delay) {
+			return nil
+		}
+		if delay *= 2; delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+	opts.Logf("joined as %s (lease ttl %dms)", reg.WorkerID, reg.LeaseTTLMS)
+	idle := time.Duration(reg.PollMS) * time.Millisecond
+	if idle <= 0 {
+		idle = 100 * time.Millisecond
+	}
+
+	for {
+		lr, err := c.Lease(ctx, reg.WorkerID, maxBatch)
+		if err != nil {
+			if ctxDone(ctx) {
+				return nil
+			}
+			opts.Logf("lease: %v", err)
+			if !sleepCtx(ctx, idle) {
+				return nil
+			}
+			continue
+		}
+		if len(lr.Leases) == 0 {
+			wait := idle
+			if lr.RetryMS > 0 {
+				wait = time.Duration(lr.RetryMS) * time.Millisecond
+			}
+			if !sleepCtx(ctx, wait) {
+				return nil
+			}
+			continue
+		}
+		g := par.NewGroup(runner.Parallelism())
+		for _, l := range lr.Leases {
+			g.Go(func() error {
+				executeLease(ctx, c, runner, reg.WorkerID, l, opts.Logf)
+				return nil
+			})
+		}
+		g.Wait()
+		if ctxDone(ctx) {
+			return nil
+		}
+	}
+}
+
+// executeLease simulates one leased point and reports the outcome, retrying
+// delivery a few times before giving up and letting the lease expire.
+func executeLease(ctx context.Context, c *Client, runner *exp.Runner, workerID string, l simd.Lease, logf func(string, ...any)) {
+	req := simd.CompleteRequest{Worker: workerID, LeaseID: l.ID, Key: l.Key}
+	rp, err := simd.ResolveSpec(l.Spec)
+	if err == nil {
+		start := time.Now()
+		var data []byte
+		if data, err = simd.ExecuteSpec(runner, rp); err == nil {
+			req.Summary = data
+			logf("point %s done in %s", rp.Label, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if err != nil {
+		req.Err = err.Error()
+		logf("point %s: %v", l.Key, err)
+	}
+
+	delay := 25 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		status, err := c.Complete(ctx, req)
+		if err == nil {
+			if status == simd.CompleteDuplicate {
+				logf("point %s: completion was a duplicate (another worker got there first)", l.Key)
+			}
+			return
+		}
+		if ctxDone(ctx) || attempt >= 5 {
+			// Give up: the coordinator (or the network) is gone. The lease
+			// expires and the point re-runs elsewhere with identical bytes.
+			logf("complete %s: dropped after %d attempt(s): %v", l.Key, attempt, err)
+			return
+		}
+		logf("complete %s: %v (retrying in %s)", l.Key, err, delay)
+		if !sleepCtx(ctx, delay) {
+			return
+		}
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+func ctxDone(ctx context.Context) bool { return ctx.Err() != nil }
+
+// sleepCtx waits d, returning false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
